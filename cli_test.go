@@ -1,0 +1,142 @@
+package regalloc_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildCmd compiles one of the cmd/ binaries once per test run.
+var buildCmd = func() func(t *testing.T, name string) string {
+	var mu sync.Mutex
+	built := map[string]string{}
+	return func(t *testing.T, name string) string {
+		t.Helper()
+		mu.Lock()
+		defer mu.Unlock()
+		if p, ok := built[name]; ok {
+			return p
+		}
+		dir, err := os.MkdirTemp("", "repro-cli")
+		if err != nil {
+			t.Fatal(err)
+		}
+		bin := filepath.Join(dir, name)
+		out, err := exec.Command("go", "build", "-o", bin, "./cmd/"+name).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, out)
+		}
+		built[name] = bin
+		return bin
+	}
+}()
+
+func runCmd(t *testing.T, bin string, stdin string, args ...string) (string, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	if stdin != "" {
+		cmd.Stdin = strings.NewReader(stdin)
+	}
+	var outB, errB strings.Builder
+	cmd.Stdout, cmd.Stderr = &outB, &errB
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %v: %v\nstderr: %s", bin, args, err, errB.String())
+	}
+	return outB.String(), errB.String()
+}
+
+func TestCLIRallocAllocatesFile(t *testing.T) {
+	bin := buildCmd(t, "ralloc")
+	out, stderr := runCmd(t, bin, "", "-mode", "remat", "-regs", "4", "-stats", "testdata/sumabs.iloc")
+	if !strings.Contains(out, "routine sumabs") {
+		t.Fatalf("no routine in output:\n%s", out)
+	}
+	if !strings.Contains(stderr, "mode=remat") || !strings.Contains(stderr, "phases:") {
+		t.Fatalf("stats missing:\n%s", stderr)
+	}
+	// The allocated code must stay within 4 registers per class.
+	for _, bad := range []string{"r4,", " r5", " f4", " f5"} {
+		if strings.Contains(out, bad+",") {
+			t.Fatalf("register beyond machine in output:\n%s", out)
+		}
+	}
+}
+
+func TestCLIRallocEmitsC(t *testing.T) {
+	bin := buildCmd(t, "ralloc")
+	out, _ := runCmd(t, bin, "", "-c", "testdata/sumabs.iloc")
+	for _, w := range []string{"#include <math.h>", "double sumabs(long p0)", "l++;"} {
+		if !strings.Contains(out, w) {
+			t.Fatalf("C output missing %q:\n%s", w, out)
+		}
+	}
+}
+
+func TestCLIRallocSplitSchemes(t *testing.T) {
+	bin := buildCmd(t, "ralloc")
+	for _, s := range []string{"none", "all-loops", "outer-loops", "inactive-loops", "all-phis"} {
+		out, _ := runCmd(t, bin, "", "-split", s, "-regs", "6", "testdata/fig1.iloc")
+		if !strings.Contains(out, "routine fig1") {
+			t.Fatalf("scheme %s: no output", s)
+		}
+	}
+}
+
+func TestCLIIlocrunFile(t *testing.T) {
+	bin := buildCmd(t, "ilocrun")
+	out, _ := runCmd(t, bin, "", "-args", "8", "-counts", "testdata/sumabs.iloc")
+	if !strings.Contains(out, "float=18.5") {
+		t.Fatalf("wrong result:\n%s", out)
+	}
+	if !strings.Contains(out, "fabs") {
+		t.Fatalf("counts missing:\n%s", out)
+	}
+}
+
+func TestCLIIlocrunStdinAndAllocate(t *testing.T) {
+	bin := buildCmd(t, "ilocrun")
+	src, err := os.ReadFile("testdata/sumabs.iloc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, _ := runCmd(t, bin, string(src), "-args", "8", "-")
+	alloc, _ := runCmd(t, bin, string(src), "-args", "8", "-mode", "remat", "-regs", "4", "-")
+	if !strings.Contains(plain, "float=18.5") || !strings.Contains(alloc, "float=18.5") {
+		t.Fatalf("allocation changed the answer:\n%s\n%s", plain, alloc)
+	}
+}
+
+func TestCLIIlocrunKernel(t *testing.T) {
+	bin := buildCmd(t, "ilocrun")
+	out, _ := runCmd(t, bin, "", "-kernel", "sgemm", "-mode", "chaitin", "-regs", "8")
+	if !strings.Contains(out, "result:") || !strings.Contains(out, "cycles") {
+		t.Fatalf("kernel run output wrong:\n%s", out)
+	}
+}
+
+func TestCLIExperimentsFigures(t *testing.T) {
+	bin := buildCmd(t, "experiments")
+	out, _ := runCmd(t, bin, "", "-fig", "4")
+	if !strings.Contains(out, "Figure 4") || !strings.Contains(out, "fabs(f14)") {
+		t.Fatalf("figure 4 output wrong:\n%s", out)
+	}
+	out, _ = runCmd(t, bin, "", "-tab", "1", "-regs", "8")
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "sgemm") {
+		t.Fatalf("table 1 output wrong:\n%s", out)
+	}
+}
+
+func TestCLIIlocrunProgramWithCalls(t *testing.T) {
+	bin := buildCmd(t, "ilocrun")
+	plain, _ := runCmd(t, bin, "", "-args", "6", "testdata/program.iloc")
+	if !strings.Contains(plain, "int=41") {
+		t.Fatalf("6²+5 = 41 expected:\n%s", plain)
+	}
+	alloc, _ := runCmd(t, bin, "", "-args", "6", "-mode", "remat", "-regs", "8", "testdata/program.iloc")
+	if !strings.Contains(alloc, "int=41") {
+		t.Fatalf("allocated program wrong:\n%s", alloc)
+	}
+}

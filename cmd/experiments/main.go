@@ -1,0 +1,147 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+//	experiments -tab 1            Table 1 (spill-cost comparison)
+//	experiments -tab 2            Table 2 (allocation times)
+//	experiments -fig 1..4         Figures 1-4
+//	experiments -ext splitting    the §6 splitting-scheme study
+//	experiments -all              everything
+//
+// -regs overrides the measured machine for Table 1 and the splitting
+// study (default: the miniature-calibrated 6-register machine; pass 16
+// for the paper's literal register count).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/target"
+)
+
+func main() {
+	tab := flag.Int("tab", 0, "regenerate a table (1 or 2)")
+	fig := flag.Int("fig", 0, "regenerate a figure (1-4)")
+	ext := flag.String("ext", "", "extension study: splitting")
+	sweep := flag.Bool("sweep", false, "aggregate spill cycles across register counts")
+	all := flag.Bool("all", false, "regenerate everything")
+	regs := flag.Int("regs", 0, "registers per class for Table 1 / splitting (0 = calibrated default)")
+	runs := flag.Int("runs", 10, "timing repetitions for Table 2")
+	flag.Parse()
+
+	var m *target.Machine
+	if *regs > 0 {
+		m = target.WithRegs(*regs)
+	}
+
+	did := false
+	run := func(name string, f func() error) {
+		did = true
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	if *all || *tab == 1 {
+		run("table1", func() error {
+			rows, err := experiments.Table1(experiments.Table1Config{Standard: m})
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatTable1(rows))
+			return nil
+		})
+	}
+	if *all || *tab == 2 {
+		run("table2", func() error {
+			cols, err := experiments.Table2(m, *runs)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatTable2(cols))
+			return nil
+		})
+	}
+	if *all || *fig == 1 {
+		run("figure1", func() error {
+			r, err := experiments.Figure1()
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.Format())
+			return nil
+		})
+	}
+	if *all || *fig == 2 {
+		run("figure2", func() error {
+			s, err := experiments.Figure2()
+			if err != nil {
+				return err
+			}
+			fmt.Print(s)
+			return nil
+		})
+	}
+	if *all || *fig == 3 {
+		run("figure3", func() error {
+			r, err := experiments.Figure3()
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.Format())
+			return nil
+		})
+	}
+	if *all || *fig == 4 {
+		run("figure4", func() error {
+			s, err := experiments.FormatFigure4()
+			if err != nil {
+				return err
+			}
+			fmt.Print(s)
+			return nil
+		})
+	}
+	if *all || *ext == "splitting" {
+		run("splitting", func() error {
+			rows, err := experiments.SplittingStudy(m)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatSplitting(rows))
+			return nil
+		})
+	}
+	if *all || *sweep {
+		run("sweep", func() error {
+			fmt.Println("Aggregate spill cycles across the suite, by register count")
+			fmt.Printf("%6s %12s %12s %8s\n", "regs", "optimistic", "remat", "gain")
+			for _, n := range []int{6, 8, 10, 12, 14, 16} {
+				rows, err := experiments.Table1(experiments.Table1Config{
+					Standard: target.WithRegs(n), IncludeUnchanged: true,
+				})
+				if err != nil {
+					return err
+				}
+				var opt, rem int64
+				for _, r := range rows {
+					opt += r.Optimistic
+					rem += r.Remat
+				}
+				gain := "0%"
+				if opt > 0 {
+					gain = fmt.Sprintf("%.0f%%", 100*float64(opt-rem)/float64(opt))
+				}
+				fmt.Printf("%6d %12d %12d %8s\n", n, opt, rem, gain)
+			}
+			return nil
+		})
+	}
+	if !did {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

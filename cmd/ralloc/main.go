@@ -1,0 +1,95 @@
+// Command ralloc allocates the registers of an ILOC routine and prints
+// the result.
+//
+//	ralloc [-mode remat|chaitin] [-regs N] [-split scheme] [-c] [-stats] file.iloc
+//
+// With no file it reads standard input. -c emits the instrumented C
+// translation (Figure 4 style) instead of ILOC; -stats prints per-phase
+// times and spill counts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/ctrans"
+	"repro/internal/iloc"
+	"repro/internal/target"
+)
+
+func main() {
+	mode := flag.String("mode", "remat", "allocator mode: remat (the paper) or chaitin (baseline)")
+	regs := flag.Int("regs", 16, "registers per class (16 = the paper's standard machine)")
+	split := flag.String("split", "none", "splitting scheme: none, all-loops, outer-loops, inactive-loops, all-phis")
+	emitC := flag.Bool("c", false, "emit instrumented C instead of ILOC")
+	stats := flag.Bool("stats", false, "print allocation statistics")
+	flag.Parse()
+
+	src, err := readInput(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	rt, err := iloc.Parse(string(src))
+	if err != nil {
+		fail(err)
+	}
+
+	opts := core.Options{Machine: target.WithRegs(*regs)}
+	switch *mode {
+	case "remat":
+		opts.Mode = core.ModeRemat
+	case "chaitin":
+		opts.Mode = core.ModeChaitin
+	default:
+		fail(fmt.Errorf("unknown mode %q", *mode))
+	}
+	switch *split {
+	case "none":
+	case "all-loops":
+		opts.Split = core.SplitAllLoops
+	case "outer-loops":
+		opts.Split = core.SplitOuterLoops
+	case "inactive-loops":
+		opts.Split = core.SplitInactiveLoops
+	case "all-phis":
+		opts.Split = core.SplitAtPhis
+	default:
+		fail(fmt.Errorf("unknown split scheme %q", *split))
+	}
+
+	res, err := core.Allocate(rt, opts)
+	if err != nil {
+		fail(err)
+	}
+	if *emitC {
+		c, err := ctrans.Translate(res.Routine)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(c)
+	} else {
+		fmt.Print(iloc.Print(res.Routine))
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "mode=%v machine=%s iterations=%d spilled=%d (remat %d) frame=%d words\n",
+			res.Mode, res.Machine.Name, len(res.Iterations), res.SpilledRanges, res.RematSpills, res.Routine.FrameWords)
+		t := res.TotalTimes()
+		fmt.Fprintf(os.Stderr, "phases: cfa=%v renum=%v build=%v costs=%v color=%v spill=%v total=%v\n",
+			t.CFA, t.Renumber, t.Build, t.Costs, t.Color, t.Spill, t.Total())
+	}
+}
+
+func readInput(path string) ([]byte, error) {
+	if path == "" || path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ralloc:", err)
+	os.Exit(1)
+}

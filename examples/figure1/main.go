@@ -1,0 +1,35 @@
+// Figure 1 walkthrough: the paper's motivating example — a pointer that
+// is constant in one loop and varying in the next — allocated under
+// register pressure by Chaitin's rule and by the rematerializing
+// allocator, showing the Ideal-vs-Chaitin code shapes of Figure 1 and
+// the tag analysis of Figure 3.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	regalloc "repro"
+)
+
+func main() {
+	fig1, err := regalloc.Figure1()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(fig1.Format())
+
+	fmt.Println()
+	fig3, err := regalloc.Figure3()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(fig3.Format())
+
+	fmt.Println()
+	trace, err := regalloc.Figure2()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(trace)
+}

@@ -1,0 +1,41 @@
+// Splitting study: §6 of the paper experiments with five live-range
+// splitting schemes on top of the rematerializing allocator and finds
+// each has "major successes" and "equally dramatic failures". This
+// example regenerates that comparison over the whole suite.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	regalloc "repro"
+)
+
+func main() {
+	rows, err := regalloc.SplittingStudy(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(regalloc.FormatSplitting(rows))
+
+	schemes := regalloc.SplittingSchemes()
+	wins := map[string]int{}
+	losses := map[string]int{}
+	for _, r := range rows {
+		for i, c := range r.Cycles {
+			s := schemes[i].String()
+			if c < r.Baseline {
+				wins[s]++
+			}
+			if c > r.Baseline {
+				losses[s]++
+			}
+		}
+	}
+	fmt.Println("\nscheme summary (vs plain rematerializing allocator):")
+	for _, s := range schemes {
+		fmt.Printf("  %-16s %2d kernels improved, %2d degraded\n",
+			s, wins[s.String()], losses[s.String()])
+	}
+	fmt.Println("\nAs in the paper, no scheme is consistently profitable.")
+}

@@ -1,0 +1,121 @@
+package cfg
+
+import (
+	"repro/internal/dom"
+	"repro/internal/iloc"
+)
+
+// Loop is a natural loop: a header block and the set of blocks in its
+// body (header included). Loops sharing a header are merged.
+type Loop struct {
+	Header *iloc.Block
+	Blocks []*iloc.Block
+	Depth  int   // nesting depth of this loop (outermost = 1)
+	Parent *Loop // innermost enclosing loop, nil for outermost
+}
+
+// Contains reports whether b is in the loop body.
+func (l *Loop) Contains(b *iloc.Block) bool {
+	for _, x := range l.Blocks {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// FindLoops discovers the natural loops of the routine from back edges
+// (edges whose target dominates their source) and merges loops with the
+// same header. The dominator tree must correspond to the current CFG.
+func FindLoops(rt *iloc.Routine, t *dom.Tree) []*Loop {
+	byHeader := make(map[*iloc.Block]map[*iloc.Block]bool)
+	for _, b := range rt.Blocks {
+		for _, s := range b.Succs {
+			if !t.Dominates(s.Index, b.Index) {
+				continue
+			}
+			// Back edge b -> s: body = s plus all blocks reaching b
+			// without passing through s.
+			body := byHeader[s]
+			if body == nil {
+				body = map[*iloc.Block]bool{s: true}
+				byHeader[s] = body
+			}
+			var stack []*iloc.Block
+			if !body[b] {
+				body[b] = true
+				stack = append(stack, b)
+			}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, p := range x.Preds {
+					if !body[p] {
+						body[p] = true
+						stack = append(stack, p)
+					}
+				}
+			}
+		}
+	}
+	var loops []*Loop
+	for h, body := range byHeader {
+		l := &Loop{Header: h}
+		for _, b := range rt.Blocks { // deterministic order
+			if body[b] {
+				l.Blocks = append(l.Blocks, b)
+			}
+		}
+		loops = append(loops, l)
+	}
+	// Deterministic loop order: by header index.
+	for i := 0; i < len(loops); i++ {
+		for j := i + 1; j < len(loops); j++ {
+			if loops[j].Header.Index < loops[i].Header.Index {
+				loops[i], loops[j] = loops[j], loops[i]
+			}
+		}
+	}
+	// Nesting: loop A encloses B if A contains B's header and A != B.
+	for _, l := range loops {
+		for _, m := range loops {
+			if m == l || !m.Contains(l.Header) {
+				continue
+			}
+			// m encloses l; pick the smallest such m as parent.
+			if l.Parent == nil || len(m.Blocks) < len(l.Parent.Blocks) {
+				l.Parent = m
+			}
+		}
+	}
+	for _, l := range loops {
+		d := 1
+		for p := l.Parent; p != nil; p = p.Parent {
+			d++
+		}
+		l.Depth = d
+	}
+	return loops
+}
+
+// Analyze builds the CFG, computes dominators, discovers loops and
+// assigns each block its loop nesting depth (0 outside any loop). It
+// returns the dominator tree and the loops for reuse by later phases.
+func Analyze(rt *iloc.Routine) (*dom.Tree, []*Loop, error) {
+	if err := Build(rt); err != nil {
+		return nil, nil, err
+	}
+	t := dom.Compute(rt)
+	loops := FindLoops(rt, t)
+	for _, b := range rt.Blocks {
+		b.Depth = 0
+	}
+	for _, l := range loops {
+		for _, b := range l.Blocks {
+			if l.Depth > b.Depth {
+				b.Depth = l.Depth
+			}
+		}
+	}
+	return t, loops, nil
+}

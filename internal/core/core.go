@@ -1,0 +1,359 @@
+// Package core implements the paper's register allocator: the optimistic
+// graph-coloring allocator of Briggs, Cooper, Kennedy and Torczon,
+// extended with the rematerialization machinery of the paper — SSA-based
+// renumbering with tag propagation, split insertion, conservative
+// coalescing, biased coloring with lookahead, and spill code that
+// recomputes never-killed values instead of storing and reloading them.
+//
+// The same code also runs in "Chaitin mode", which reproduces the
+// baseline of Table 1: live ranges are formed by unioning every value
+// reaching each φ-node (no splits), and a live range is rematerializable
+// only when all of its definitions are identical never-killed
+// instructions.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cfg"
+	"repro/internal/disjoint"
+	"repro/internal/ig"
+	"repro/internal/iloc"
+	"repro/internal/remat"
+	"repro/internal/target"
+)
+
+// Mode selects the rematerialization strategy.
+type Mode int
+
+// Allocator modes.
+const (
+	// ModeChaitin is the baseline: Chaitin's limited rematerialization
+	// (whole live ranges, no splitting). The "Optimistic" column of
+	// Table 1.
+	ModeChaitin Mode = iota
+	// ModeRemat is the paper's contribution: per-value tags, splits,
+	// conservative coalescing and biased coloring. The
+	// "Rematerialization" column of Table 1.
+	ModeRemat
+)
+
+func (m Mode) String() string {
+	if m == ModeChaitin {
+		return "chaitin"
+	}
+	return "remat"
+}
+
+// Options configures an allocation.
+type Options struct {
+	Machine *target.Machine
+	Mode    Mode
+
+	// DisableConservativeCoalescing keeps the splits renumber inserted
+	// (ablation switch; normally conservative coalescing runs in
+	// ModeRemat).
+	DisableConservativeCoalescing bool
+	// DisableBiasedColoring turns off partner-color preference in select.
+	DisableBiasedColoring bool
+	// DisableLookahead turns off the one-level partner lookahead.
+	DisableLookahead bool
+	// Split selects one of §6's experimental live-range splitting
+	// schemes (ModeRemat only); SplitNone is the paper's main
+	// configuration.
+	Split SplitScheme
+	// Metric selects the spill-candidate metric. The paper uses
+	// Chaitin's cost/degree ("the metric for picking spill candidates is
+	// critical", §2); the alternatives come from the spill-minimization
+	// literature it cites (Bernstein et al.).
+	Metric SpillMetric
+	// MaxIterations bounds the spill/color loop (default 32).
+	MaxIterations int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Machine == nil {
+		o.Machine = target.Standard()
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 32
+	}
+	return o
+}
+
+// PhaseTimes records wall-clock time per allocator phase for one
+// iteration, mirroring the rows of Table 2.
+type PhaseTimes struct {
+	CFA      time.Duration // control-flow analysis: CFG, dominators, loops
+	Renumber time.Duration // SSA, tags, unions, splits
+	Build    time.Duration // the build–coalesce loop
+	Costs    time.Duration // spill cost estimation
+	Color    time.Duration // simplify + select
+	Spill    time.Duration // spill code insertion
+}
+
+// Total sums the phases.
+func (p PhaseTimes) Total() time.Duration {
+	return p.CFA + p.Renumber + p.Build + p.Costs + p.Color + p.Spill
+}
+
+// IterationStats describes one round of the allocator.
+type IterationStats struct {
+	Times     PhaseTimes
+	Spilled   [iloc.NumClasses]int // live ranges spilled this round
+	Coalesced int                  // copies removed by coalescing
+	Splits    int                  // split copies inserted by renumber
+}
+
+// Result is a finished allocation.
+type Result struct {
+	// Routine is the allocated code: register numbers are physical
+	// colors in [1, K], fp is register 0, and spill slots occupy
+	// FrameWords words of the frame.
+	Routine *iloc.Routine
+	// Iterations records per-round statistics; Table 2 prints them.
+	Iterations []IterationStats
+	// SpilledRanges counts live ranges that received spill code, and
+	// RematSpills the subset handled by rematerialization.
+	SpilledRanges int
+	RematSpills   int
+	Mode          Mode
+	Machine       *target.Machine
+}
+
+// TotalTimes sums phase times over all iterations.
+func (r *Result) TotalTimes() PhaseTimes {
+	var t PhaseTimes
+	for _, it := range r.Iterations {
+		t.CFA += it.Times.CFA
+		t.Renumber += it.Times.Renumber
+		t.Build += it.Times.Build
+		t.Costs += it.Times.Costs
+		t.Color += it.Times.Color
+		t.Spill += it.Times.Spill
+	}
+	return t
+}
+
+// classState is the allocator's view of one register class.
+type classState struct {
+	c    iloc.Class
+	sets *disjoint.Sets
+	tags []remat.Tag
+	// graph, cost, mustNot, inCode, stack, colors are rebuilt each round.
+	graph    *ig.Graph
+	cost     []float64
+	mustNot  []bool
+	inCode   []bool
+	stack    []int
+	colors   []int
+	partners [][]int
+	// acrossCall marks live ranges live across a call site; the calling
+	// convention restricts them to callee-save colors (those above
+	// Machine.CallerSave).
+	acrossCall []bool
+}
+
+func (cs *classState) find(n int) int { return cs.sets.Find(n) }
+
+// tagOf returns the tag of the live range containing value n.
+func (cs *classState) tagOf(n int) remat.Tag { return cs.tags[cs.find(n)] }
+
+type allocator struct {
+	rt   *iloc.Routine
+	opts Options
+	res  *Result
+
+	classes   [iloc.NumClasses]*classState
+	frameBase int64 // first fp offset free for spill slots
+	nextSlot  int
+	slots     [iloc.NumClasses]map[int]int64 // live range -> fp offset
+	roundNo   int                            // current pipeline round (0-based)
+}
+
+// Allocate maps the routine's virtual registers onto the machine. The
+// input routine is not modified; the returned Result holds an allocated
+// clone.
+func Allocate(rt *iloc.Routine, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := opts.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	if err := iloc.Verify(rt, false); err != nil {
+		return nil, fmt.Errorf("core: input: %w", err)
+	}
+	a := &allocator{
+		rt:   rt.Clone(),
+		opts: opts,
+		res:  &Result{Mode: opts.Mode, Machine: opts.Machine},
+	}
+	for c := range a.slots {
+		a.slots[c] = make(map[int]int64)
+	}
+	a.frameBase = scanFrameBase(a.rt)
+
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		a.roundNo = iter
+		stats, done, err := a.round()
+		if err != nil {
+			return nil, err
+		}
+		a.res.Iterations = append(a.res.Iterations, stats)
+		if done {
+			a.res.Routine = a.rt
+			return a.res, nil
+		}
+	}
+	return nil, fmt.Errorf("core: allocation of %s did not converge in %d iterations", rt.Name, opts.MaxIterations)
+}
+
+// round runs one pass of Figure 2's pipeline. done is true when select
+// colored every live range and the code has been rewritten.
+func (a *allocator) round() (IterationStats, bool, error) {
+	var st IterationStats
+
+	t0 := time.Now()
+	if err := cfg.Build(a.rt); err != nil {
+		return st, false, err
+	}
+	if _, err := cfg.SplitCriticalEdges(a.rt); err != nil {
+		return st, false, err
+	}
+	tree, loops, err := cfg.Analyze(a.rt)
+	if err != nil {
+		return st, false, err
+	}
+	st.Times.CFA = time.Since(t0)
+
+	t0 = time.Now()
+	splits, err := a.renumber(tree, loops)
+	if err != nil {
+		return st, false, err
+	}
+	st.Splits = splits
+	st.Times.Renumber = time.Since(t0)
+
+	t0 = time.Now()
+	for _, cs := range a.classes {
+		st.Coalesced += a.coalesce(cs)
+		if a.opts.Mode == ModeChaitin {
+			// Chaitin's whole-range rule: a live range rematerializes
+			// only if all of its remaining definitions are the same
+			// never-killed instruction. Evaluated after coalescing so
+			// deleted copies do not count as definitions.
+			a.computeChaitinTags(cs)
+		}
+	}
+	st.Times.Build = time.Since(t0)
+
+	t0 = time.Now()
+	for _, cs := range a.classes {
+		a.computeCosts(cs)
+	}
+	st.Times.Costs = time.Since(t0)
+
+	// Profitable spills (§5.2: "some spills are profitable"): a
+	// rematerializable range whose deleted definitions outweigh its
+	// per-use recomputation has negative cost — spilling it removes
+	// instructions outright, registers or no registers. Handle these
+	// before coloring and go around the loop again.
+	t0 = time.Now()
+	profitable := false
+	for ci, cs := range a.classes {
+		var neg []int
+		for v := 1; v < a.rt.NumRegs(cs.c); v++ {
+			if cs.inCode[v] && cs.find(v) == v && !cs.mustNot[v] && cs.cost[v] < 0 {
+				neg = append(neg, v)
+			}
+		}
+		if len(neg) > 0 {
+			a.resetSlots()
+			a.insertSpills(cs, neg)
+			st.Spilled[ci] += len(neg)
+			profitable = true
+		}
+	}
+	if profitable {
+		st.Times.Spill = time.Since(t0)
+		return st, false, nil
+	}
+
+	t0 = time.Now()
+	anySpill := false
+	var spilled [iloc.NumClasses][]int
+	for ci, cs := range a.classes {
+		a.simplify(cs)
+		spilled[ci] = a.selectColors(cs)
+		st.Spilled[ci] = len(spilled[ci])
+		if len(spilled[ci]) > 0 {
+			anySpill = true
+		}
+	}
+	st.Times.Color = time.Since(t0)
+
+	if !anySpill {
+		if err := a.rewriteColors(); err != nil {
+			return st, false, err
+		}
+		if err := a.threadJumps(); err != nil {
+			return st, false, err
+		}
+		return st, true, nil
+	}
+
+	t0 = time.Now()
+	a.resetSlots()
+	for ci, cs := range a.classes {
+		if len(spilled[ci]) > 0 {
+			a.insertSpills(cs, spilled[ci])
+		}
+	}
+	st.Times.Spill = time.Since(t0)
+	return st, false, nil
+}
+
+// scanFrameBase finds the first fp-relative offset beyond any the routine
+// already uses, so spill slots do not collide with its locals.
+func scanFrameBase(rt *iloc.Routine) int64 {
+	var base int64
+	rt.ForEachInstr(func(_ *iloc.Block, _ int, in *iloc.Instr) {
+		switch in.Op {
+		case iloc.OpLoadai, iloc.OpFloadai:
+			if in.Src[0].IsFP() && in.Imm+8 > base {
+				base = in.Imm + 8
+			}
+		case iloc.OpStoreai, iloc.OpFstoreai:
+			if in.Src[1].IsFP() && in.Imm+8 > base {
+				base = in.Imm + 8
+			}
+		case iloc.OpAddi, iloc.OpSubi:
+			if in.Src[0].IsFP() && in.Imm+8 > base {
+				base = in.Imm + 8
+			}
+		}
+	})
+	return base
+}
+
+// resetSlots clears the per-root spill-slot maps. Live-range names are
+// reassigned by renumber each round, so slots must never be shared
+// across rounds.
+func (a *allocator) resetSlots() {
+	for c := range a.slots {
+		a.slots[c] = make(map[int]int64)
+	}
+}
+
+// slotFor returns (allocating if needed) the frame offset of a spilled
+// live range.
+func (a *allocator) slotFor(c iloc.Class, root int) int64 {
+	if off, ok := a.slots[c][root]; ok {
+		return off
+	}
+	off := a.frameBase + int64(a.nextSlot)*8
+	a.nextSlot++
+	a.slots[c][root] = off
+	a.rt.FrameWords = int(a.frameBase/8) + a.nextSlot
+	return off
+}

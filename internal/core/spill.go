@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/iloc"
+)
+
+// errUncolored reports a register that survived to rewrite without a
+// color — an internal invariant violation.
+func errUncolored(a *allocator, in *iloc.Instr) error {
+	return fmt.Errorf("core: %s: uncolored register in %q", a.rt.Name, in)
+}
+
+// insertSpills converts each uncolored live range into tiny ranges. A ⊥
+// range gets Chaitin's heavyweight treatment — a store after every
+// definition, a reload before every use. A never-killed range is
+// rematerialized: its tag instruction is issued into a fresh register
+// before each use and its definitions are simply deleted, since the value
+// need never live in memory (§3.2, spill code).
+func (a *allocator) insertSpills(cs *classState, spilled []int) {
+	c := cs.c
+	isSpilled := make(map[int]bool, len(spilled))
+	for _, v := range spilled {
+		isSpilled[v] = true
+		a.res.SpilledRanges++
+		if cs.tags[v].Rematerializable() {
+			a.res.RematSpills++
+		}
+	}
+
+	for _, b := range a.rt.Blocks {
+		out := make([]*iloc.Instr, 0, len(b.Instrs)+8)
+		for _, in := range b.Instrs {
+			d := in.Def()
+			defSpilled := d.Valid() && d.Class == c && d.N != 0 && isSpilled[d.N]
+
+			// A definition of a rematerializable spilled range vanishes:
+			// the value is recomputed at each use instead. Its defining
+			// instructions are never-killed instructions or copies, so
+			// dropping them loses no side effect — and drops their
+			// operand reloads with them.
+			if defSpilled && cs.tagOf(d.N).Rematerializable() {
+				continue
+			}
+
+			// Reload (or rematerialize) each spilled use into a fresh
+			// temporary; one temporary per range per instruction.
+			replaced := make(map[int]iloc.Reg)
+			uses := in.Uses()
+			for ui := range uses {
+				u := uses[ui]
+				if u.Class != c || u.N == 0 || !isSpilled[u.N] {
+					continue
+				}
+				t, ok := replaced[u.N]
+				if !ok {
+					t = a.rt.NewReg(c)
+					replaced[u.N] = t
+					tag := cs.tagOf(u.N)
+					if tag.Rematerializable() {
+						ri := tag.Instr.Clone()
+						ri.Dst = t
+						ri.IsSpill = true
+						ri.IsSplit = false
+						out = append(out, ri)
+					} else {
+						out = append(out, &iloc.Instr{
+							Op:  reloadOp(c),
+							Dst: t, Src: [2]iloc.Reg{iloc.FP, iloc.NoReg},
+							Imm: a.slotFor(c, u.N), IsSpill: true,
+						})
+					}
+				}
+				if in.Op == iloc.OpPhi {
+					in.Phi.Args[ui] = t
+				} else {
+					in.Src[ui] = t
+				}
+			}
+
+			if defSpilled { // ⊥ range: redirect the def and store it
+				t := a.rt.NewReg(c)
+				in.Dst = t
+				out = append(out, in)
+				st := &iloc.Instr{
+					Op:  storeOp(c),
+					Dst: iloc.NoReg,
+					Src: [2]iloc.Reg{t, iloc.FP},
+					Imm: a.slotFor(c, d.N), IsSpill: true,
+				}
+				out = append(out, st)
+				continue
+			}
+			out = append(out, in)
+		}
+		b.Instrs = out
+	}
+}
+
+func reloadOp(c iloc.Class) iloc.Op {
+	if c == iloc.ClassInt {
+		return iloc.OpLoadai
+	}
+	return iloc.OpFloadai
+}
+
+func storeOp(c iloc.Class) iloc.Op {
+	if c == iloc.ClassInt {
+		return iloc.OpStoreai
+	}
+	return iloc.OpFstoreai
+}

@@ -1,0 +1,82 @@
+package iloc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParseNeverPanics feeds the parser mutated fragments of valid
+// source plus random byte soup; it must return errors, never panic.
+func TestParseNeverPanics(t *testing.T) {
+	tokens := []string{
+		"routine", "data", "ldi", "add", "br", "ge", "fp", "r1", "f2",
+		"(", ")", ",", ":", "-", "8", "1.5", "entry", "loop", "ro", "rw",
+		"=", "jmp", "retr", "retf", "phi", "\n", " ", "\t", ";x", "#y",
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		var b strings.Builder
+		n := rng.Intn(60)
+		for i := 0; i < n; i++ {
+			if rng.Intn(5) == 0 {
+				b.WriteByte(byte(rng.Intn(256)))
+			} else {
+				b.WriteString(tokens[rng.Intn(len(tokens))])
+			}
+			if rng.Intn(3) == 0 {
+				b.WriteByte(' ')
+			}
+			if rng.Intn(6) == 0 {
+				b.WriteByte('\n')
+			}
+		}
+		src := b.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on %q: %v", src, r)
+				}
+			}()
+			rt, err := Parse(src)
+			if err == nil {
+				// Rare but possible: a valid routine. It must verify or
+				// fail verification gracefully, and print/reparse.
+				if verr := Verify(rt, false); verr == nil {
+					if _, perr := Parse(Print(rt)); perr != nil {
+						t.Fatalf("round trip of accidentally-valid routine failed: %v", perr)
+					}
+				}
+			}
+		}()
+	}
+}
+
+// TestParseMutatedKernels mutates a valid source byte-wise: still no
+// panics, and successful parses stay structurally sound.
+func TestParseMutatedKernels(t *testing.T) {
+	base := sampleSrc
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		buf := []byte(base)
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			pos := rng.Intn(len(buf))
+			switch rng.Intn(3) {
+			case 0:
+				buf[pos] = byte(rng.Intn(128))
+			case 1:
+				buf = append(buf[:pos], buf[pos+1:]...)
+			default:
+				buf = append(buf[:pos], append([]byte{byte(rng.Intn(128))}, buf[pos:]...)...)
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on mutation: %v", r)
+				}
+			}()
+			_, _ = Parse(string(buf))
+		}()
+	}
+}

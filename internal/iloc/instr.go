@@ -1,0 +1,192 @@
+package iloc
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Reg names a register: a class plus a number. Before allocation the
+// number is a virtual register id; after allocation it is a physical
+// register (color). Integer register 0 is the reserved frame pointer in
+// both spaces.
+type Reg struct {
+	Class Class
+	N     int
+}
+
+// NoReg is the absent register.
+var NoReg = Reg{Class: noClass, N: -1}
+
+// FP is the reserved frame pointer register.
+var FP = Reg{Class: ClassInt, N: 0}
+
+// Valid reports whether r names a register.
+func (r Reg) Valid() bool { return r != NoReg }
+
+// IsFP reports whether r is the reserved frame pointer.
+func (r Reg) IsFP() bool { return r == FP }
+
+// String renders r in assembly syntax: r4, f7, or fp.
+func (r Reg) String() string {
+	switch {
+	case !r.Valid():
+		return "<none>"
+	case r.IsFP():
+		return "fp"
+	case r.Class == ClassInt:
+		return "r" + strconv.Itoa(r.N)
+	default:
+		return "f" + strconv.Itoa(r.N)
+	}
+}
+
+// IntReg returns the integer register with number n.
+func IntReg(n int) Reg { return Reg{Class: ClassInt, N: n} }
+
+// FltReg returns the float register with number n.
+func FltReg(n int) Reg { return Reg{Class: ClassFlt, N: n} }
+
+// Phi holds the variable-arity operand list of a φ-node. Args[i] is the
+// value flowing in from the i'th predecessor of the node's block (indices
+// track Block.Preds).
+type Phi struct {
+	Args []Reg
+}
+
+// Instr is a single ILOC instruction. Fields beyond Op are meaningful
+// only when the op's shape says so (see the Op accessors).
+type Instr struct {
+	Op     Op
+	Dst    Reg    // result register, NoReg if none
+	Src    [2]Reg // register sources (Op.NSrc of them)
+	Imm    int64  // integer immediate
+	FImm   float64
+	Label  string // primary label (lda/rload/jmp/br true-target)
+	Label2 string // br false-target
+	Cond   Cond   // br condition
+
+	Phi *Phi // operands of a φ-node (Op == OpPhi only)
+
+	// IsSplit marks a copy inserted by renumber to isolate values with
+	// different rematerialization tags; only conservative coalescing may
+	// remove it.
+	IsSplit bool
+	// IsSpill marks loads/stores/remats inserted by the spill phase;
+	// their targets are tiny live ranges that must not be spilled again.
+	IsSpill bool
+}
+
+// Uses returns the register sources of the instruction. For a φ it
+// returns the argument list.
+func (in *Instr) Uses() []Reg {
+	if in.Op == OpPhi {
+		return in.Phi.Args
+	}
+	return in.Src[:in.Op.NSrc()]
+}
+
+// Def returns the register the instruction defines, or NoReg.
+func (in *Instr) Def() Reg {
+	if in.Op.HasDst() {
+		return in.Dst
+	}
+	return NoReg
+}
+
+// Clone returns a deep copy of the instruction.
+func (in *Instr) Clone() *Instr {
+	c := *in
+	if in.Phi != nil {
+		c.Phi = &Phi{Args: append([]Reg(nil), in.Phi.Args...)}
+	}
+	return &c
+}
+
+// String renders the instruction in the canonical assembly syntax used by
+// the parser and printer.
+func (in *Instr) String() string {
+	var b strings.Builder
+	b.WriteString(in.Op.String())
+	ops := make([]string, 0, 4)
+	switch in.Op {
+	case OpPhi:
+		ops = append(ops, in.Dst.String())
+		for _, a := range in.Phi.Args {
+			ops = append(ops, a.String())
+		}
+	case OpBr:
+		b.WriteByte(' ')
+		b.WriteString(in.Cond.String())
+		ops = append(ops, in.Src[0].String(), in.Label, in.Label2)
+	case OpJmp:
+		ops = append(ops, in.Label)
+	default:
+		if in.Op.HasDst() {
+			ops = append(ops, in.Dst.String())
+		}
+		for i := 0; i < in.Op.NSrc(); i++ {
+			ops = append(ops, in.Src[i].String())
+		}
+		if in.Op.HasLabel() {
+			ops = append(ops, in.Label)
+		}
+		if in.Op.HasImm() {
+			ops = append(ops, strconv.FormatInt(in.Imm, 10))
+		}
+		if in.Op.HasFImm() {
+			ops = append(ops, formatFloat(in.FImm))
+		}
+	}
+	if len(ops) > 0 {
+		b.WriteByte(' ')
+		b.WriteString(strings.Join(ops, ", "))
+	}
+	if in.IsSplit {
+		b.WriteString("    ; split")
+	}
+	if in.IsSpill {
+		b.WriteString("    ; spill")
+	}
+	return b.String()
+}
+
+func formatFloat(f float64) string {
+	s := strconv.FormatFloat(f, 'g', -1, 64)
+	// Make sure the token reads as a float (round-trips through the parser
+	// as a float immediate, and as a C double in the translator).
+	if !strings.ContainsAny(s, ".eE") && !strings.Contains(s, "Inf") && !strings.Contains(s, "NaN") {
+		s += ".0"
+	}
+	return s
+}
+
+// Convenience constructors used by the builder, the spill phase and tests.
+
+// MakeLdi builds "ldi rD, imm".
+func MakeLdi(dst Reg, imm int64) *Instr { return &Instr{Op: OpLdi, Dst: dst, Imm: imm} }
+
+// MakeFldi builds "fldi fD, fimm".
+func MakeFldi(dst Reg, f float64) *Instr { return &Instr{Op: OpFldi, Dst: dst, FImm: f} }
+
+// MakeLda builds "lda rD, label".
+func MakeLda(dst Reg, label string) *Instr { return &Instr{Op: OpLda, Dst: dst, Label: label} }
+
+// MakeMov builds the copy appropriate to the class of dst.
+func MakeMov(dst, src Reg) *Instr {
+	op := OpMov
+	if dst.Class == ClassFlt {
+		op = OpFmov
+	}
+	return &Instr{Op: op, Dst: dst, Src: [2]Reg{src, NoReg}}
+}
+
+// MakeBin builds a three-register instruction.
+func MakeBin(op Op, dst, a, b Reg) *Instr { return &Instr{Op: op, Dst: dst, Src: [2]Reg{a, b}} }
+
+// MakeUn builds a two-register instruction.
+func MakeUn(op Op, dst, a Reg) *Instr { return &Instr{Op: op, Dst: dst, Src: [2]Reg{a, NoReg}} }
+
+// MakeImm builds a register+immediate instruction such as addi.
+func MakeImm(op Op, dst, a Reg, imm int64) *Instr {
+	return &Instr{Op: op, Dst: dst, Src: [2]Reg{a, NoReg}, Imm: imm}
+}

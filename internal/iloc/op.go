@@ -1,0 +1,365 @@
+// Package iloc defines the low-level intermediate language the allocator
+// works on. It mirrors the ILOC language of the paper: a register-transfer
+// code over an unlimited set of virtual registers, split into an integer
+// class and a floating-point class, with explicit loads and stores.
+//
+// Register 0 of the integer class is the reserved frame pointer; it is
+// always available and never allocated, which makes instructions such as
+// "addi r5, fp, 8" (a constant offset from the frame pointer) never-killed
+// in the paper's sense. Register 0 of the float class is reserved for
+// symmetry and never used.
+package iloc
+
+import "fmt"
+
+// Op identifies an ILOC operation.
+type Op uint8
+
+// The ILOC operation set. Figure 4 of the paper shows ldi, add, mvf (fmov
+// here), lddrr (floadao), dabs (fabs), dadd (fadd), addi, sub and br; the
+// rest round the language out to the level the paper's FORTRAN front end
+// needed (address arithmetic, both addressing modes, conversions).
+const (
+	OpNop Op = iota
+
+	// Integer ALU.
+	OpAdd  // add rD, rS1, rS2
+	OpSub  // sub rD, rS1, rS2
+	OpMul  // mul rD, rS1, rS2
+	OpDiv  // div rD, rS1, rS2
+	OpAnd  // and rD, rS1, rS2
+	OpOr   // or  rD, rS1, rS2
+	OpXor  // xor rD, rS1, rS2
+	OpShl  // shl rD, rS1, rS2
+	OpShr  // shr rD, rS1, rS2
+	OpNeg  // neg rD, rS
+	OpAddi // addi rD, rS, imm
+	OpSubi // subi rD, rS, imm
+	OpMuli // muli rD, rS, imm
+	OpLdi  // ldi rD, imm            (never-killed)
+	OpLda  // lda rD, label          (never-killed)
+	OpMov  // mov rD, rS             (copy)
+
+	// Integer memory.
+	OpLoad    // load rD, rA          rD = mem[rA]
+	OpLoadai  // loadai rD, rA, imm   rD = mem[rA+imm]
+	OpLoadao  // loadao rD, rA, rO    rD = mem[rA+rO]
+	OpStore   // store rV, rA         mem[rA] = rV
+	OpStoreai // storeai rV, rA, imm
+	OpRload   // rload rD, label, imm  read-only static load (never-killed)
+
+	// Float ALU.
+	OpFadd // fadd fD, fS1, fS2
+	OpFsub // fsub fD, fS1, fS2
+	OpFmul // fmul fD, fS1, fS2
+	OpFdiv // fdiv fD, fS1, fS2
+	OpFabs // fabs fD, fS
+	OpFneg // fneg fD, fS
+	OpFmov // fmov fD, fS            (copy)
+	OpFldi // fldi fD, fimm          (never-killed)
+
+	// Float memory.
+	OpFload    // fload fD, rA
+	OpFloadai  // floadai fD, rA, imm
+	OpFloadao  // floadao fD, rA, rO
+	OpFstore   // fstore fV, rA
+	OpFstoreai // fstoreai fV, rA, imm
+	OpFrload   // frload fD, label, imm  read-only static load (never-killed)
+
+	// Conversions and comparison.
+	OpCvtif // cvtif fD, rS
+	OpCvtfi // cvtfi rD, fS
+	OpFcmp  // fcmp rD, fS1, fS2    rD = sign(fS1-fS2)
+
+	// Parameters: a load from a known, constant frame slot (never-killed;
+	// the paper's "loads from a known constant location in the frame").
+	OpGetparam  // getparam rD, imm
+	OpFgetparam // fgetparam fD, imm
+
+	// Display access: load the frame pointer of lexical level imm from
+	// the display (never-killed; the paper's fourth rematerialization
+	// category, "loading non-local frame pointers from a display").
+	OpLdisp // ldisp rD, imm
+
+	// Procedure calls. Arguments travel through per-call argument slots
+	// (FORTRAN passes by reference; the slots usually hold addresses),
+	// the callee reads them with getparam, and the result comes back
+	// through a return latch. A call clobbers the caller-save registers
+	// of each class (the first Machine.CallerSave colors); the allocator
+	// keeps ranges that live across a call in callee-save colors.
+	OpSetarg  // setarg rS, imm    outgoing argument slot imm = rS
+	OpFsetarg // fsetarg fS, imm
+	OpCall    // call name
+	OpGetret  // getret rD         integer result of the last call
+	OpFgetret // fgetret fD
+
+	// Control flow.
+	OpJmp  // jmp label
+	OpBr   // br cond rS, label, label2   (cond compares rS with zero)
+	OpRet  // ret
+	OpRetr // retr rS
+	OpRetf // retf fS
+
+	// Phi exists only while the code is in SSA form.
+	OpPhi
+
+	numOps
+)
+
+// Cond is the comparison a br instruction applies to its register operand
+// (against zero).
+type Cond uint8
+
+// Branch conditions.
+const (
+	CondNone Cond = iota
+	CondLT
+	CondLE
+	CondGT
+	CondGE
+	CondEQ
+	CondNE
+)
+
+var condNames = [...]string{
+	CondNone: "none",
+	CondLT:   "lt",
+	CondLE:   "le",
+	CondGT:   "gt",
+	CondGE:   "ge",
+	CondEQ:   "eq",
+	CondNE:   "ne",
+}
+
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cond(%d)", uint8(c))
+}
+
+// CondFromString returns the condition named s.
+func CondFromString(s string) (Cond, bool) {
+	for c, n := range condNames {
+		if n == s && c != int(CondNone) {
+			return Cond(c), true
+		}
+	}
+	return CondNone, false
+}
+
+// Holds reports whether the condition holds for integer value v compared
+// against zero.
+func (c Cond) Holds(v int64) bool {
+	switch c {
+	case CondLT:
+		return v < 0
+	case CondLE:
+		return v <= 0
+	case CondGT:
+		return v > 0
+	case CondGE:
+		return v >= 0
+	case CondEQ:
+		return v == 0
+	case CondNE:
+		return v != 0
+	}
+	return false
+}
+
+// Class distinguishes the two register files.
+type Class uint8
+
+// Register classes.
+const (
+	ClassInt Class = iota
+	ClassFlt
+	NumClasses = 2
+)
+
+func (c Class) String() string {
+	if c == ClassInt {
+		return "int"
+	}
+	return "flt"
+}
+
+type opFlags uint16
+
+const (
+	flagLoad   opFlags = 1 << iota // reads memory
+	flagStore                      // writes memory
+	flagCopy                       // register-to-register copy
+	flagBranch                     // conditional branch
+	flagJump                       // unconditional jump
+	flagRet                        // return
+	flagRemat                      // never-killed candidate (see NeverKilled)
+	flagCommut                     // commutative binary op
+	flagCall                       // procedure call (clobbers caller-save registers)
+)
+
+const noClass Class = 0xff
+
+// opInfo describes the shape of one operation: its mnemonic, destination
+// and source register classes, and which extra operands it carries.
+type opInfo struct {
+	name     string
+	dst      Class // noClass if no register result
+	src      [2]Class
+	nsrc     int
+	hasImm   bool
+	hasFImm  bool
+	hasLabel bool
+	flags    opFlags
+}
+
+var opTable = [numOps]opInfo{
+	OpNop: {name: "nop", dst: noClass},
+
+	OpAdd:  {name: "add", dst: ClassInt, src: [2]Class{ClassInt, ClassInt}, nsrc: 2, flags: flagCommut},
+	OpSub:  {name: "sub", dst: ClassInt, src: [2]Class{ClassInt, ClassInt}, nsrc: 2},
+	OpMul:  {name: "mul", dst: ClassInt, src: [2]Class{ClassInt, ClassInt}, nsrc: 2, flags: flagCommut},
+	OpDiv:  {name: "div", dst: ClassInt, src: [2]Class{ClassInt, ClassInt}, nsrc: 2},
+	OpAnd:  {name: "and", dst: ClassInt, src: [2]Class{ClassInt, ClassInt}, nsrc: 2, flags: flagCommut},
+	OpOr:   {name: "or", dst: ClassInt, src: [2]Class{ClassInt, ClassInt}, nsrc: 2, flags: flagCommut},
+	OpXor:  {name: "xor", dst: ClassInt, src: [2]Class{ClassInt, ClassInt}, nsrc: 2, flags: flagCommut},
+	OpShl:  {name: "shl", dst: ClassInt, src: [2]Class{ClassInt, ClassInt}, nsrc: 2},
+	OpShr:  {name: "shr", dst: ClassInt, src: [2]Class{ClassInt, ClassInt}, nsrc: 2},
+	OpNeg:  {name: "neg", dst: ClassInt, src: [2]Class{ClassInt, noClass}, nsrc: 1},
+	OpAddi: {name: "addi", dst: ClassInt, src: [2]Class{ClassInt, noClass}, nsrc: 1, hasImm: true, flags: flagRemat},
+	OpSubi: {name: "subi", dst: ClassInt, src: [2]Class{ClassInt, noClass}, nsrc: 1, hasImm: true, flags: flagRemat},
+	OpMuli: {name: "muli", dst: ClassInt, src: [2]Class{ClassInt, noClass}, nsrc: 1, hasImm: true, flags: flagRemat},
+	OpLdi:  {name: "ldi", dst: ClassInt, hasImm: true, flags: flagRemat},
+	OpLda:  {name: "lda", dst: ClassInt, hasLabel: true, flags: flagRemat},
+	OpMov:  {name: "mov", dst: ClassInt, src: [2]Class{ClassInt, noClass}, nsrc: 1, flags: flagCopy},
+
+	OpLoad:    {name: "load", dst: ClassInt, src: [2]Class{ClassInt, noClass}, nsrc: 1, flags: flagLoad},
+	OpLoadai:  {name: "loadai", dst: ClassInt, src: [2]Class{ClassInt, noClass}, nsrc: 1, hasImm: true, flags: flagLoad},
+	OpLoadao:  {name: "loadao", dst: ClassInt, src: [2]Class{ClassInt, ClassInt}, nsrc: 2, flags: flagLoad},
+	OpStore:   {name: "store", dst: noClass, src: [2]Class{ClassInt, ClassInt}, nsrc: 2, flags: flagStore},
+	OpStoreai: {name: "storeai", dst: noClass, src: [2]Class{ClassInt, ClassInt}, nsrc: 2, hasImm: true, flags: flagStore},
+	OpRload:   {name: "rload", dst: ClassInt, hasImm: true, hasLabel: true, flags: flagLoad | flagRemat},
+
+	OpFadd: {name: "fadd", dst: ClassFlt, src: [2]Class{ClassFlt, ClassFlt}, nsrc: 2, flags: flagCommut},
+	OpFsub: {name: "fsub", dst: ClassFlt, src: [2]Class{ClassFlt, ClassFlt}, nsrc: 2},
+	OpFmul: {name: "fmul", dst: ClassFlt, src: [2]Class{ClassFlt, ClassFlt}, nsrc: 2, flags: flagCommut},
+	OpFdiv: {name: "fdiv", dst: ClassFlt, src: [2]Class{ClassFlt, ClassFlt}, nsrc: 2},
+	OpFabs: {name: "fabs", dst: ClassFlt, src: [2]Class{ClassFlt, noClass}, nsrc: 1},
+	OpFneg: {name: "fneg", dst: ClassFlt, src: [2]Class{ClassFlt, noClass}, nsrc: 1},
+	OpFmov: {name: "fmov", dst: ClassFlt, src: [2]Class{ClassFlt, noClass}, nsrc: 1, flags: flagCopy},
+	OpFldi: {name: "fldi", dst: ClassFlt, hasFImm: true, flags: flagRemat},
+
+	OpFload:    {name: "fload", dst: ClassFlt, src: [2]Class{ClassInt, noClass}, nsrc: 1, flags: flagLoad},
+	OpFloadai:  {name: "floadai", dst: ClassFlt, src: [2]Class{ClassInt, noClass}, nsrc: 1, hasImm: true, flags: flagLoad},
+	OpFloadao:  {name: "floadao", dst: ClassFlt, src: [2]Class{ClassInt, ClassInt}, nsrc: 2, flags: flagLoad},
+	OpFstore:   {name: "fstore", dst: noClass, src: [2]Class{ClassFlt, ClassInt}, nsrc: 2, flags: flagStore},
+	OpFstoreai: {name: "fstoreai", dst: noClass, src: [2]Class{ClassFlt, ClassInt}, nsrc: 2, hasImm: true, flags: flagStore},
+	OpFrload:   {name: "frload", dst: ClassFlt, hasImm: true, hasLabel: true, flags: flagLoad | flagRemat},
+
+	OpCvtif: {name: "cvtif", dst: ClassFlt, src: [2]Class{ClassInt, noClass}, nsrc: 1},
+	OpCvtfi: {name: "cvtfi", dst: ClassInt, src: [2]Class{ClassFlt, noClass}, nsrc: 1},
+	OpFcmp:  {name: "fcmp", dst: ClassInt, src: [2]Class{ClassFlt, ClassFlt}, nsrc: 2},
+
+	OpGetparam:  {name: "getparam", dst: ClassInt, hasImm: true, flags: flagLoad | flagRemat},
+	OpFgetparam: {name: "fgetparam", dst: ClassFlt, hasImm: true, flags: flagLoad | flagRemat},
+	OpLdisp:     {name: "ldisp", dst: ClassInt, hasImm: true, flags: flagLoad | flagRemat},
+
+	OpSetarg:  {name: "setarg", dst: noClass, src: [2]Class{ClassInt, noClass}, nsrc: 1, hasImm: true, flags: flagStore},
+	OpFsetarg: {name: "fsetarg", dst: noClass, src: [2]Class{ClassFlt, noClass}, nsrc: 1, hasImm: true, flags: flagStore},
+	OpCall:    {name: "call", dst: noClass, hasLabel: true, flags: flagCall},
+	OpGetret:  {name: "getret", dst: ClassInt},
+	OpFgetret: {name: "fgetret", dst: ClassFlt},
+
+	OpJmp:  {name: "jmp", dst: noClass, hasLabel: true, flags: flagJump},
+	OpBr:   {name: "br", dst: noClass, src: [2]Class{ClassInt, noClass}, nsrc: 1, hasLabel: true, flags: flagBranch},
+	OpRet:  {name: "ret", dst: noClass, flags: flagRet},
+	OpRetr: {name: "retr", dst: noClass, src: [2]Class{ClassInt, noClass}, nsrc: 1, flags: flagRet},
+	OpRetf: {name: "retf", dst: noClass, src: [2]Class{ClassFlt, noClass}, nsrc: 1, flags: flagRet},
+
+	OpPhi: {name: "phi", dst: noClass /* class taken from dst reg */},
+}
+
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, numOps)
+	for op := Op(0); op < numOps; op++ {
+		if opTable[op].name != "" {
+			m[opTable[op].name] = op
+		}
+	}
+	return m
+}()
+
+// OpFromString returns the op with the given mnemonic.
+func OpFromString(s string) (Op, bool) {
+	op, ok := opByName[s]
+	return op, ok
+}
+
+func (op Op) String() string {
+	if op < numOps {
+		return opTable[op].name
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Info accessors.
+
+// HasDst reports whether the op defines a register.
+func (op Op) HasDst() bool { return op == OpPhi || opTable[op].dst != noClass }
+
+// DstClass returns the class of the op's result register. Only valid when
+// HasDst is true and op is not OpPhi (a phi's class comes from its Dst reg).
+func (op Op) DstClass() Class { return opTable[op].dst }
+
+// NSrc returns the number of register source operands.
+func (op Op) NSrc() int { return opTable[op].nsrc }
+
+// SrcClass returns the class of source operand i.
+func (op Op) SrcClass(i int) Class { return opTable[op].src[i] }
+
+// HasImm reports whether the op carries an integer immediate.
+func (op Op) HasImm() bool { return opTable[op].hasImm }
+
+// HasFImm reports whether the op carries a float immediate.
+func (op Op) HasFImm() bool { return opTable[op].hasFImm }
+
+// HasLabel reports whether the op carries a label operand.
+func (op Op) HasLabel() bool { return opTable[op].hasLabel }
+
+// IsLoad reports whether the op reads memory.
+func (op Op) IsLoad() bool { return opTable[op].flags&flagLoad != 0 }
+
+// IsStore reports whether the op writes memory.
+func (op Op) IsStore() bool { return opTable[op].flags&flagStore != 0 }
+
+// IsMem reports whether the op touches memory (the 2-cycle class in the
+// paper's cost model).
+func (op Op) IsMem() bool { return op.IsLoad() || op.IsStore() }
+
+// IsCopy reports whether the op is a register-to-register copy.
+func (op Op) IsCopy() bool { return opTable[op].flags&flagCopy != 0 }
+
+// IsBranch reports whether the op is a conditional branch.
+func (op Op) IsBranch() bool { return opTable[op].flags&flagBranch != 0 }
+
+// IsJump reports whether the op is an unconditional jump.
+func (op Op) IsJump() bool { return opTable[op].flags&flagJump != 0 }
+
+// IsRet reports whether the op returns from the routine.
+func (op Op) IsRet() bool { return opTable[op].flags&flagRet != 0 }
+
+// IsTerminator reports whether the op must end a basic block.
+func (op Op) IsTerminator() bool { return op.IsBranch() || op.IsJump() || op.IsRet() }
+
+// IsCommutative reports whether the op's two register sources commute.
+func (op Op) IsCommutative() bool { return opTable[op].flags&flagCommut != 0 }
+
+// IsCall reports whether the op is a procedure call.
+func (op Op) IsCall() bool { return opTable[op].flags&flagCall != 0 }
+
+// RematCandidate reports whether the op belongs to the never-killed
+// candidate class: a value defined by such an instruction can be
+// rematerialized, provided its register operands are always available
+// (in this language, only the reserved frame pointer). See remat.NeverKilled.
+func (op Op) RematCandidate() bool { return opTable[op].flags&flagRemat != 0 }

@@ -1,0 +1,389 @@
+package iloc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads the textual form of one routine. The grammar, by line:
+//
+//	routine NAME(r1, r2, f1)        ; header, params by register
+//	data NAME ro 4 = 1.0 2.0        ; static data: ro|rw, size in words,
+//	data NAME rw 16                 ;   optional float/int initializers
+//	label:                          ; starts a new basic block
+//	op operands                     ; instruction, operands comma-separated
+//	; comment  or  # comment
+//
+// Instructions follow Instr.String's syntax exactly, so Print output
+// round-trips. Control falls through from a block without a terminator to
+// the next block in the file.
+func Parse(src string) (*Routine, error) {
+	p := &parser{}
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		if err := p.line(raw); err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+	}
+	if p.rt == nil {
+		return nil, fmt.Errorf("no routine header")
+	}
+	if len(p.rt.Blocks) == 0 {
+		return nil, fmt.Errorf("routine %s has no code", p.rt.Name)
+	}
+	p.rt.Reindex()
+	return p.rt, nil
+}
+
+// MustParse is Parse that panics on error; intended for embedded sources
+// in tests and the benchmark suite.
+func MustParse(src string) *Routine {
+	rt, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}
+
+// ParseProgram reads a file holding several routines (each introduced by
+// its own "routine" header). The first routine is conventionally the
+// entry point; the rest are callees.
+func ParseProgram(src string) ([]*Routine, error) {
+	var chunks []string
+	var cur []string
+	started := false
+	for _, line := range strings.Split(src, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(stripComment(line)), "routine ") {
+			// Leading comments stay attached to the routine that follows.
+			if started {
+				chunks = append(chunks, strings.Join(cur, "\n"))
+				cur = nil
+			}
+			started = true
+		}
+		cur = append(cur, line)
+	}
+	if started {
+		chunks = append(chunks, strings.Join(cur, "\n"))
+	}
+	if len(chunks) == 0 {
+		return nil, fmt.Errorf("no routine header")
+	}
+	var out []*Routine
+	seen := map[string]bool{}
+	for _, c := range chunks {
+		rt, err := Parse(c)
+		if err != nil {
+			return nil, err
+		}
+		if seen[rt.Name] {
+			return nil, fmt.Errorf("duplicate routine %q", rt.Name)
+		}
+		seen[rt.Name] = true
+		out = append(out, rt)
+	}
+	return out, nil
+}
+
+type parser struct {
+	rt  *Routine
+	cur *Block
+}
+
+func stripComment(s string) string {
+	if i := strings.IndexAny(s, ";#"); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func (p *parser) line(raw string) error {
+	s := strings.TrimSpace(stripComment(raw))
+	if s == "" {
+		return nil
+	}
+	switch {
+	case strings.HasPrefix(s, "routine "):
+		return p.header(strings.TrimPrefix(s, "routine "))
+	case strings.HasPrefix(s, "data "):
+		return p.data(strings.TrimPrefix(s, "data "))
+	case strings.HasSuffix(s, ":"):
+		return p.label(strings.TrimSuffix(s, ":"))
+	default:
+		return p.instr(s)
+	}
+}
+
+func (p *parser) header(s string) error {
+	if p.rt != nil {
+		return fmt.Errorf("duplicate routine header")
+	}
+	open := strings.IndexByte(s, '(')
+	closeP := strings.LastIndexByte(s, ')')
+	if open < 0 || closeP < open {
+		return fmt.Errorf("malformed routine header %q", s)
+	}
+	name := strings.TrimSpace(s[:open])
+	if name == "" {
+		return fmt.Errorf("routine needs a name")
+	}
+	p.rt = &Routine{Name: name}
+	args := strings.TrimSpace(s[open+1 : closeP])
+	if args == "" {
+		return nil
+	}
+	for _, a := range strings.Split(args, ",") {
+		r, err := parseReg(strings.TrimSpace(a))
+		if err != nil {
+			return fmt.Errorf("parameter: %w", err)
+		}
+		if r.IsFP() {
+			return fmt.Errorf("fp cannot be a parameter")
+		}
+		p.rt.Params = append(p.rt.Params, Param{Reg: r})
+		p.noteReg(r)
+	}
+	return nil
+}
+
+func (p *parser) data(s string) error {
+	if p.rt == nil {
+		return fmt.Errorf("data before routine header")
+	}
+	var init string
+	if i := strings.IndexByte(s, '='); i >= 0 {
+		init = strings.TrimSpace(s[i+1:])
+		s = s[:i]
+	}
+	fields := strings.Fields(s)
+	if len(fields) != 3 {
+		return fmt.Errorf("data wants: data NAME ro|rw WORDS [= v...]")
+	}
+	d := Data{Label: fields[0]}
+	switch fields[1] {
+	case "ro":
+		d.ReadOnly = true
+	case "rw":
+	default:
+		return fmt.Errorf("data mode %q (want ro or rw)", fields[1])
+	}
+	words, err := strconv.Atoi(fields[2])
+	if err != nil || words <= 0 {
+		return fmt.Errorf("bad data size %q", fields[2])
+	}
+	d.Words = words
+	if init != "" {
+		for _, tok := range strings.Fields(init) {
+			v, err := strconv.ParseFloat(tok, 64)
+			if err != nil {
+				return fmt.Errorf("bad initializer %q", tok)
+			}
+			if strings.ContainsAny(tok, ".eE") {
+				d.IsFloat = true
+			}
+			d.Init = append(d.Init, v)
+		}
+		if len(d.Init) > d.Words {
+			return fmt.Errorf("data %s: %d initializers for %d words", d.Label, len(d.Init), d.Words)
+		}
+	}
+	if p.rt.DataByLabel(d.Label) != nil {
+		return fmt.Errorf("duplicate data label %q", d.Label)
+	}
+	p.rt.Data = append(p.rt.Data, d)
+	return nil
+}
+
+func (p *parser) label(name string) error {
+	if p.rt == nil {
+		return fmt.Errorf("label before routine header")
+	}
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return fmt.Errorf("empty label")
+	}
+	if p.rt.BlockByLabel(name) != nil {
+		return fmt.Errorf("duplicate label %q", name)
+	}
+	b := &Block{Label: name}
+	p.rt.Blocks = append(p.rt.Blocks, b)
+	p.cur = b
+	return nil
+}
+
+func (p *parser) instr(s string) error {
+	if p.rt == nil {
+		return fmt.Errorf("instruction before routine header")
+	}
+	if p.cur == nil {
+		// Implicit entry block.
+		p.cur = &Block{Label: "entry"}
+		p.rt.Blocks = append(p.rt.Blocks, p.cur)
+	}
+	if t := p.cur.Terminator(); t != nil {
+		return fmt.Errorf("instruction after terminator %q", t)
+	}
+	in, err := p.parseInstr(s)
+	if err != nil {
+		return err
+	}
+	p.cur.Instrs = append(p.cur.Instrs, in)
+	return nil
+}
+
+func (p *parser) parseInstr(s string) (*Instr, error) {
+	// Mnemonic is the first space-delimited token.
+	mn := s
+	rest := ""
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		mn, rest = s[:i], strings.TrimSpace(s[i+1:])
+	}
+	op, ok := OpFromString(mn)
+	if !ok {
+		return nil, fmt.Errorf("unknown op %q", mn)
+	}
+	in := &Instr{Op: op, Dst: NoReg, Src: [2]Reg{NoReg, NoReg}}
+
+	if op == OpBr {
+		// br cond rS, Ltrue, Lfalse
+		i := strings.IndexAny(rest, " \t")
+		if i < 0 {
+			return nil, fmt.Errorf("br wants a condition")
+		}
+		cond, ok := CondFromString(rest[:i])
+		if !ok {
+			return nil, fmt.Errorf("unknown condition %q", rest[:i])
+		}
+		in.Cond = cond
+		rest = strings.TrimSpace(rest[i+1:])
+	}
+
+	var toks []string
+	if rest != "" {
+		for _, t := range strings.Split(rest, ",") {
+			toks = append(toks, strings.TrimSpace(t))
+		}
+	}
+	take := func() (string, error) {
+		if len(toks) == 0 {
+			return "", fmt.Errorf("%s: missing operand", op)
+		}
+		t := toks[0]
+		toks = toks[1:]
+		return t, nil
+	}
+	takeReg := func(want Class) (Reg, error) {
+		t, err := take()
+		if err != nil {
+			return NoReg, err
+		}
+		r, err := parseReg(t)
+		if err != nil {
+			return NoReg, err
+		}
+		if r.Class != want {
+			return NoReg, fmt.Errorf("%s: operand %s has class %s, want %s", op, t, r.Class, want)
+		}
+		p.noteReg(r)
+		return r, nil
+	}
+
+	var err error
+	switch op {
+	case OpPhi:
+		return nil, fmt.Errorf("phi is not accepted in source text")
+	case OpJmp:
+		in.Label, err = take()
+		return in, err
+	case OpBr:
+		if in.Src[0], err = takeReg(ClassInt); err != nil {
+			return nil, err
+		}
+		if in.Label, err = take(); err != nil {
+			return nil, err
+		}
+		if in.Label2, err = take(); err != nil {
+			return nil, err
+		}
+		if len(toks) != 0 {
+			return nil, fmt.Errorf("br: trailing operands")
+		}
+		return in, nil
+	}
+
+	if op.HasDst() {
+		if in.Dst, err = takeReg(op.DstClass()); err != nil {
+			return nil, err
+		}
+		if in.Dst.IsFP() {
+			return nil, fmt.Errorf("%s: fp is not writable", op)
+		}
+	}
+	for i := 0; i < op.NSrc(); i++ {
+		if in.Src[i], err = takeReg(op.SrcClass(i)); err != nil {
+			return nil, err
+		}
+	}
+	if op.HasLabel() {
+		if in.Label, err = take(); err != nil {
+			return nil, err
+		}
+	}
+	if op.HasImm() {
+		t, err := take()
+		if err != nil {
+			return nil, err
+		}
+		in.Imm, err = strconv.ParseInt(t, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad immediate %q", op, t)
+		}
+	}
+	if op.HasFImm() {
+		t, err := take()
+		if err != nil {
+			return nil, err
+		}
+		in.FImm, err = strconv.ParseFloat(t, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad float immediate %q", op, t)
+		}
+	}
+	if len(toks) != 0 {
+		return nil, fmt.Errorf("%s: trailing operands %v", op, toks)
+	}
+	return in, nil
+}
+
+func (p *parser) noteReg(r Reg) {
+	if r.N >= p.rt.NextReg[r.Class] {
+		p.rt.NextReg[r.Class] = r.N + 1
+	}
+}
+
+func parseReg(s string) (Reg, error) {
+	if s == "fp" {
+		return FP, nil
+	}
+	if len(s) < 2 {
+		return NoReg, fmt.Errorf("bad register %q", s)
+	}
+	var c Class
+	switch s[0] {
+	case 'r':
+		c = ClassInt
+	case 'f':
+		c = ClassFlt
+	default:
+		return NoReg, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 {
+		return NoReg, fmt.Errorf("bad register %q", s)
+	}
+	if n == 0 {
+		return NoReg, fmt.Errorf("register %s0 is reserved", string(s[0]))
+	}
+	return Reg{Class: c, N: n}, nil
+}

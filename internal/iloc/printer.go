@@ -1,0 +1,51 @@
+package iloc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Print renders the routine in the textual form accepted by Parse.
+func Print(r *Routine) string {
+	var b strings.Builder
+	b.WriteString("routine ")
+	b.WriteString(r.Name)
+	b.WriteByte('(')
+	for i, p := range r.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.Reg.String())
+	}
+	b.WriteString(")\n")
+	for _, d := range r.Data {
+		mode := "rw"
+		if d.ReadOnly {
+			mode = "ro"
+		}
+		fmt.Fprintf(&b, "data %s %s %d", d.Label, mode, d.Words)
+		if len(d.Init) > 0 {
+			b.WriteString(" =")
+			for _, v := range d.Init {
+				b.WriteByte(' ')
+				if d.IsFloat {
+					b.WriteString(formatFloat(v))
+				} else {
+					b.WriteString(strconv.FormatInt(int64(v), 10))
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for _, blk := range r.Blocks {
+		b.WriteString(blk.Label)
+		b.WriteString(":\n")
+		for _, in := range blk.Instrs {
+			b.WriteString("    ")
+			b.WriteString(in.String())
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,95 @@
+// Package liveness computes live-in/live-out sets for one register class
+// of a routine with an iterative bitset worklist.
+//
+// The paper's renumber uses the sparse data-flow evaluation graphs of
+// Choi, Cytron and Ferrante for the same job; the dense iterative solver
+// reaches the identical fixpoint (see DESIGN.md §4 on substitutions).
+package liveness
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/cfg"
+	"repro/internal/iloc"
+)
+
+// Info holds the liveness solution for one register class. All sets are
+// indexed by Block.Index and sized to the routine's register space for
+// the class; the reserved register 0 never appears.
+type Info struct {
+	Class   iloc.Class
+	LiveIn  []*bitset.Set
+	LiveOut []*bitset.Set
+	UEVar   []*bitset.Set // upward-exposed uses per block
+	Kill    []*bitset.Set // registers defined per block
+}
+
+// Compute solves liveness for class c. CFG edges must be built, and the
+// code must not contain φ-nodes (renumber removes them before liveness is
+// next needed).
+func Compute(rt *iloc.Routine, c iloc.Class) *Info {
+	nb := len(rt.Blocks)
+	n := rt.NumRegs(c)
+	info := &Info{
+		Class:   c,
+		LiveIn:  make([]*bitset.Set, nb),
+		LiveOut: make([]*bitset.Set, nb),
+		UEVar:   make([]*bitset.Set, nb),
+		Kill:    make([]*bitset.Set, nb),
+	}
+	for i := 0; i < nb; i++ {
+		info.LiveIn[i] = bitset.New(n)
+		info.LiveOut[i] = bitset.New(n)
+		info.UEVar[i] = bitset.New(n)
+		info.Kill[i] = bitset.New(n)
+	}
+
+	for _, b := range rt.Blocks {
+		ue, kill := info.UEVar[b.Index], info.Kill[b.Index]
+		for _, in := range b.Instrs {
+			if in.Op == iloc.OpPhi {
+				panic(fmt.Sprintf("liveness: φ-node in %s/%s", rt.Name, b.Label))
+			}
+			for _, u := range in.Uses() {
+				if u.Class == c && u.N != 0 && !kill.Has(u.N) {
+					ue.Add(u.N)
+				}
+			}
+			if d := in.Def(); d.Valid() && d.Class == c && d.N != 0 {
+				kill.Add(d.N)
+			}
+		}
+	}
+
+	// Backward problem: iterate blocks in postorder (reverse RPO) until
+	// the fixpoint.
+	rpo := cfg.ReversePostorder(rt)
+	tmp := bitset.New(n)
+	for changed := true; changed; {
+		changed = false
+		for i := len(rpo) - 1; i >= 0; i-- {
+			b := rpo[i]
+			out := info.LiveOut[b.Index]
+			for _, s := range b.Succs {
+				if out.UnionWith(info.LiveIn[s.Index]) {
+					changed = true
+				}
+			}
+			// LiveIn = UEVar ∪ (LiveOut − Kill)
+			tmp.CopyFrom(out)
+			tmp.DifferenceWith(info.Kill[b.Index])
+			tmp.UnionWith(info.UEVar[b.Index])
+			if !tmp.Equal(info.LiveIn[b.Index]) {
+				info.LiveIn[b.Index].CopyFrom(tmp)
+				changed = true
+			}
+		}
+	}
+	return info
+}
+
+// LiveAcross reports whether register r is live out of block b.
+func (in *Info) LiveAcross(b *iloc.Block, r int) bool {
+	return in.LiveOut[b.Index].Has(r)
+}

@@ -1,0 +1,195 @@
+// Package ssa builds the pruned static single assignment form of one
+// register class of an ILOC routine: φ-nodes are inserted on the iterated
+// dominance frontiers of definition sites, but only where the original
+// register is live (dead φ-nodes are never created), and a walk over the
+// dominator tree renames every definition to a fresh register number.
+//
+// After Build, each register number of the class identifies a *value* in
+// the paper's sense: one definition (an instruction or a φ-node) plus its
+// uses. Renumber unions these values back into live ranges after tag
+// propagation.
+package ssa
+
+import (
+	"fmt"
+
+	"repro/internal/dom"
+	"repro/internal/iloc"
+	"repro/internal/liveness"
+)
+
+// Graph is the SSA value graph for one register class. Values are
+// register numbers in [1, NumValues); index 0 is the reserved register.
+type Graph struct {
+	Class     iloc.Class
+	NumValues int
+
+	// DefOf[v] is the instruction defining value v (possibly a φ);
+	// DefBlockOf[v] is its block. Index 0 is nil.
+	DefOf      []*iloc.Instr
+	DefBlockOf []*iloc.Block
+
+	// UsesOf[v] lists the instructions that read value v (φ-nodes
+	// included); the sparse propagation worklist follows these edges.
+	UsesOf [][]*iloc.Instr
+
+	// OrigOf[v] is the register number the value had before renaming.
+	OrigOf []int
+}
+
+// Build converts the class-c registers of rt to pruned SSA in place and
+// returns the value graph. Critical edges must already be split and the
+// CFG built; live is the pre-SSA liveness solution for the class and tree
+// the dominator tree.
+func Build(rt *iloc.Routine, c iloc.Class, tree *dom.Tree, live *liveness.Info) (*Graph, error) {
+	df := dom.Frontiers(tree, rt)
+	nOrig := rt.NumRegs(c)
+
+	// Definition sites per original register.
+	defBlocks := make([][]*iloc.Block, nOrig)
+	for _, b := range rt.Blocks {
+		for _, in := range b.Instrs {
+			if d := in.Def(); d.Valid() && d.Class == c && d.N != 0 {
+				defBlocks[d.N] = append(defBlocks[d.N], b)
+			}
+		}
+	}
+
+	// Insert pruned φ-nodes. phiOrig remembers which original register a
+	// φ merges, for the renaming walk.
+	phiOrig := make(map[*iloc.Instr]int)
+	for v := 1; v < nOrig; v++ {
+		if len(defBlocks[v]) == 0 {
+			continue
+		}
+		hasPhi := make([]bool, len(rt.Blocks))
+		work := append([]*iloc.Block(nil), defBlocks[v]...)
+		inWork := make([]bool, len(rt.Blocks))
+		for _, b := range work {
+			inWork[b.Index] = true
+		}
+		for len(work) > 0 {
+			d := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, fi := range df[d.Index] {
+				f := rt.Blocks[fi]
+				if hasPhi[fi] || !live.LiveIn[fi].Has(v) {
+					continue // pruning: dead φ never inserted
+				}
+				hasPhi[fi] = true
+				phi := &iloc.Instr{
+					Op:  iloc.OpPhi,
+					Dst: iloc.Reg{Class: c, N: v},
+					Phi: &iloc.Phi{Args: make([]iloc.Reg, len(f.Preds))},
+				}
+				for i := range phi.Phi.Args {
+					phi.Phi.Args[i] = iloc.Reg{Class: c, N: v}
+				}
+				f.InsertBefore(0, phi)
+				phiOrig[phi] = v
+				if !inWork[fi] {
+					inWork[fi] = true
+					work = append(work, f)
+				}
+			}
+		}
+	}
+
+	// Rename over the dominator tree.
+	g := &Graph{
+		Class:      c,
+		DefOf:      []*iloc.Instr{nil},
+		DefBlockOf: []*iloc.Block{nil},
+		OrigOf:     []int{0},
+	}
+	stacks := make([][]int, nOrig)
+	newName := func(orig int, def *iloc.Instr, b *iloc.Block) int {
+		v := len(g.DefOf)
+		g.DefOf = append(g.DefOf, def)
+		g.DefBlockOf = append(g.DefBlockOf, b)
+		g.OrigOf = append(g.OrigOf, orig)
+		stacks[orig] = append(stacks[orig], v)
+		return v
+	}
+	var renameErr error
+	top := func(orig int, where string) int {
+		st := stacks[orig]
+		if len(st) == 0 {
+			if renameErr == nil {
+				renameErr = fmt.Errorf("ssa: use of undefined register %s%d at %s",
+					map[iloc.Class]string{iloc.ClassInt: "r", iloc.ClassFlt: "f"}[c], orig, where)
+			}
+			return 0
+		}
+		return st[len(st)-1]
+	}
+
+	var walk func(bi int)
+	walk = func(bi int) {
+		b := rt.Blocks[bi]
+		var popped []int
+		for _, in := range b.Instrs {
+			if in.Op == iloc.OpPhi {
+				if in.Dst.Class != c {
+					continue
+				}
+				orig := phiOrig[in]
+				in.Dst = iloc.Reg{Class: c, N: newName(orig, in, b)}
+				popped = append(popped, orig)
+				continue
+			}
+			for i := range in.Src[:in.Op.NSrc()] {
+				if in.Src[i].Class == c && in.Src[i].N != 0 {
+					in.Src[i] = iloc.Reg{Class: c, N: top(in.Src[i].N, b.Label)}
+				}
+			}
+			if d := in.Def(); d.Valid() && d.Class == c && d.N != 0 {
+				orig := d.N
+				in.Dst = iloc.Reg{Class: c, N: newName(orig, in, b)}
+				popped = append(popped, orig)
+			}
+		}
+		for _, s := range b.Succs {
+			pi := s.PredIndex(b)
+			for _, in := range s.Instrs {
+				if in.Op != iloc.OpPhi {
+					break
+				}
+				if in.Dst.Class != c {
+					continue
+				}
+				orig := in.Phi.Args[pi].N
+				if v, named := phiOrig[in]; named {
+					orig = v
+				}
+				in.Phi.Args[pi] = iloc.Reg{Class: c, N: top(orig, s.Label+"(φ)")}
+			}
+		}
+		for _, child := range tree.Children[bi] {
+			walk(child)
+		}
+		for _, orig := range popped {
+			stacks[orig] = stacks[orig][:len(stacks[orig])-1]
+		}
+	}
+	walk(rt.Entry().Index)
+	if renameErr != nil {
+		return nil, renameErr
+	}
+
+	g.NumValues = len(g.DefOf)
+	rt.NextReg[c] = g.NumValues
+
+	// Def-use chains.
+	g.UsesOf = make([][]*iloc.Instr, g.NumValues)
+	for _, b := range rt.Blocks {
+		for _, in := range b.Instrs {
+			for _, u := range in.Uses() {
+				if u.Class == c && u.N != 0 {
+					g.UsesOf[u.N] = append(g.UsesOf[u.N], in)
+				}
+			}
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,339 @@
+package suite
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/interp"
+)
+
+// twldrv is the suite's large routine (the paper's biggest test, 881
+// lines of FORTRAN). It is generated: sixteen staged passes over a
+// static vector, each with its own pair of coefficient constants,
+// alternating between scale-accumulate, write-back and integer-census
+// stages. Every stage anchors a fresh walking pointer on the same lda,
+// so renumber sees many disconnected lifetimes of the same virtual
+// registers and many constant-then-varying live ranges.
+func twldrv() *Kernel {
+	const n = 16
+	const stages = 16
+	coef := func(s int) (float64, float64) {
+		return 1.0 + 0.125*float64(s%5), 0.25*float64(s%7) - 0.75
+	}
+	xv := func(i int) float64 { return math.Sin(float64(i)*0.9) * 3 }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "routine twldrv(r2)\n")
+	b.WriteString(dataDecl("tw", false, tabulate(n, xv)))
+	fmt.Fprintf(&b, "entry:\n")
+	fmt.Fprintf(&b, "    getparam r2, 0\n")
+	fmt.Fprintf(&b, "    fldi f1, 0.0\n") // float accumulator
+	fmt.Fprintf(&b, "    ldi r3, 0\n")    // integer census
+	fmt.Fprintf(&b, "    jmp stage0\n")
+	for s := 0; s < stages; s++ {
+		c1, c2 := coef(s)
+		next := fmt.Sprintf("stage%d", s+1)
+		if s == stages-1 {
+			next = "fin"
+		}
+		fmt.Fprintf(&b, "stage%d:\n", s)
+		fmt.Fprintf(&b, "    lda r6, tw\n") // walking pointer, re-anchored per stage
+		fmt.Fprintf(&b, "    fldi f2, %g\n", c1)
+		fmt.Fprintf(&b, "    fldi f3, %g\n", c2)
+		fmt.Fprintf(&b, "    ldi r4, 0\n")
+		fmt.Fprintf(&b, "    jmp s%dloop\n", s)
+		fmt.Fprintf(&b, "s%dloop:\n", s)
+		fmt.Fprintf(&b, "    sub r5, r4, r2\n")
+		fmt.Fprintf(&b, "    br ge r5, %s, s%dbody\n", next, s)
+		fmt.Fprintf(&b, "s%dbody:\n", s)
+		fmt.Fprintf(&b, "    fload f4, r6\n")
+		switch s % 3 {
+		case 0: // accumulate c1*x + c2
+			fmt.Fprintf(&b, "    fmul f5, f4, f2\n")
+			fmt.Fprintf(&b, "    fadd f5, f5, f3\n")
+			fmt.Fprintf(&b, "    fadd f1, f1, f5\n")
+		case 1: // write back x = c1*x + c2
+			fmt.Fprintf(&b, "    fmul f4, f4, f2\n")
+			fmt.Fprintf(&b, "    fadd f4, f4, f3\n")
+			fmt.Fprintf(&b, "    fstore f4, r6\n")
+		default: // census: count x > c2
+			fmt.Fprintf(&b, "    fcmp r7, f4, f3\n")
+			fmt.Fprintf(&b, "    br gt r7, s%dcount, s%dskip\n", s, s)
+			fmt.Fprintf(&b, "s%dcount:\n", s)
+			fmt.Fprintf(&b, "    addi r3, r3, 1\n")
+			fmt.Fprintf(&b, "    jmp s%dskip\n", s)
+			fmt.Fprintf(&b, "s%dskip:\n", s)
+		}
+		fmt.Fprintf(&b, "    addi r6, r6, 8\n")
+		fmt.Fprintf(&b, "    addi r4, r4, 1\n")
+		fmt.Fprintf(&b, "    jmp s%dloop\n", s)
+	}
+	fmt.Fprintf(&b, "fin:\n")
+	fmt.Fprintf(&b, "    cvtif f6, r3\n")
+	fmt.Fprintf(&b, "    fadd f1, f1, f6\n")
+	fmt.Fprintf(&b, "    retf f1\n")
+
+	ref := func() float64 {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = xv(i)
+		}
+		acc := 0.0
+		census := 0
+		for s := 0; s < stages; s++ {
+			c1, c2 := coef(s)
+			for i := 0; i < n; i++ {
+				switch s % 3 {
+				case 0:
+					acc += x[i]*c1 + c2
+				case 1:
+					x[i] = x[i]*c1 + c2
+				default:
+					if x[i] > c2 {
+						census++
+					}
+				}
+			}
+		}
+		return acc + float64(census)
+	}
+
+	return &Kernel{
+		Program: "fpppp",
+		Name:    "twldrv",
+		Source:  b.String(),
+		Setup: func(e *interp.Env) []interp.Value {
+			return []interp.Value{interp.Int(n)}
+		},
+		Check: func(e *interp.Env, out *interp.Outcome) error {
+			return approx(out.RetFloat, ref())
+		},
+	}
+}
+
+// sgemm is the matrix300 kernel: C = A·B with the classic three-deep
+// loop nest, lda-anchored walking row pointers, and a final
+// pointer-walking reduction.
+func sgemm() *Kernel {
+	const n = 6
+	av := func(i, j int) float64 { return float64(i+1) * 0.5 * float64(j%3+1) }
+	bv := func(i, j int) float64 { return float64(j-i) * 0.25 }
+	flatA := make([]float64, n*n)
+	flatB := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			flatA[i*n+j] = av(i, j)
+			flatB[i*n+j] = bv(i, j)
+		}
+	}
+	ref := func() float64 {
+		var c [n][n]float64
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for k := 0; k < n; k++ {
+					s += av(i, k) * bv(k, j)
+				}
+				c[i][j] = s
+			}
+		}
+		acc := 0.0
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				acc += math.Abs(c[i][j])
+			}
+		}
+		return acc
+	}
+	src := "routine sgemm(r4)\n" +
+		dataDecl("ga", true, flatA) +
+		dataDecl("gb", true, flatB) +
+		dataDecl("gc", false, make([]float64, n*n)) + `
+entry:
+    getparam r4, 0        ; n
+    lda r1, ga
+    lda r2, gb
+    lda r3, gc
+    muli r5, r4, 8        ; stride
+    ldi r6, 0             ; i
+    mov r8, r1            ; &A[i][0] (walks by stride)
+    mov r9, r3            ; &C[i][0] (walks by stride)
+    jmp iloop
+iloop:
+    sub r7, r6, r4
+    br ge r7, sum, ibody
+ibody:
+    ldi r10, 0            ; j
+    jmp jloop
+jloop:
+    sub r7, r10, r4
+    br ge r7, inext, jbody
+jbody:
+    fldi f1, 0.0          ; s
+    muli r11, r10, 8      ; j*8
+    add r12, r2, r11      ; &B[0][j]
+    mov r13, r8           ; &A[i][k] walker
+    ldi r14, 0            ; k
+    jmp kloop
+kloop:
+    sub r7, r14, r4
+    br ge r7, jnext, kbody
+kbody:
+    fload f2, r13
+    fload f3, r12
+    fmul f2, f2, f3
+    fadd f1, f1, f2
+    addi r13, r13, 8      ; A walks a row
+    add r12, r12, r5      ; B walks a column
+    addi r14, r14, 1
+    jmp kloop
+jnext:
+    add r15, r9, r11
+    fstore f1, r15        ; C[i][j] = s
+    addi r10, r10, 1
+    jmp jloop
+inext:
+    add r8, r8, r5
+    add r9, r9, r5
+    addi r6, r6, 1
+    jmp iloop
+sum:
+    fldi f4, 0.0
+    mul r6, r4, r4
+    ldi r10, 0
+    jmp sloop
+sloop:
+    sub r7, r10, r6
+    br ge r7, done, sbody
+sbody:
+    fload f5, r3          ; r3 walks over C here
+    fabs f5, f5
+    fadd f4, f4, f5
+    addi r3, r3, 8
+    addi r10, r10, 1
+    jmp sloop
+done:
+    retf f4
+`
+	return &Kernel{
+		Program: "matrix300",
+		Name:    "sgemm",
+		Source:  src,
+		Setup: func(e *interp.Env) []interp.Value {
+			return []interp.Value{interp.Int(n)}
+		},
+		Check: func(e *interp.Env, out *interp.Outcome) error {
+			return approx(out.RetFloat, ref())
+		},
+	}
+}
+
+// tomcatv is one Jacobi relaxation sweep over the interior of a 2-D grid,
+// the mesh-smoothing heart of the SPEC tomcatv program: five-point
+// stencil loads through walking row pointers and a residual accumulator.
+func tomcatv() *Kernel {
+	const nx, ny = 8, 8
+	vv := func(i, j int) float64 { return math.Abs(float64(i-3))*0.5 + float64(j)*0.25 }
+	flat := make([]float64, nx*ny)
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			flat[i*ny+j] = vv(i, j)
+		}
+	}
+	ref := func() float64 {
+		var v [nx][ny]float64
+		for i := 0; i < nx; i++ {
+			for j := 0; j < ny; j++ {
+				v[i][j] = vv(i, j)
+			}
+		}
+		res := 0.0
+		ci := int64(0)
+		for i := 1; i < nx-1; i++ {
+			for j := 1; j < ny-1; j++ {
+				nv := 0.25 * (v[i-1][j] + v[i+1][j] + v[i][j-1] + v[i][j+1])
+				res += math.Abs(nv - v[i][j])
+				ci += int64(i)*11 + int64(j)*3
+			}
+		}
+		return res + float64(ci)
+	}
+	src := "routine tomcatv(r3, r4)\n" +
+		dataDecl("tv", true, flat) +
+		dataDecl("tww", false, make([]float64, nx*ny)) + `
+entry:
+    getparam r3, 0        ; nx
+    getparam r4, 1        ; ny
+    lda r1, tv
+    lda r2, tww
+    muli r5, r4, 8        ; row stride
+    fldi f1, 0.25         ; stencil weight
+    fldi f2, 0.0          ; residual
+    ldi r6, 1             ; i
+    subi r7, r3, 1        ; nx-1
+    subi r8, r4, 1        ; ny-1
+    mov r10, r1
+    add r10, r10, r5      ; &v[1][0]  (walks per row: multi-valued)
+    mov r11, r2
+    add r11, r11, r5      ; &w[1][0]
+    ldi r16, 11           ; checksum coefficients (pressure)
+    ldi r17, 3
+    ldi r18, 0            ; ci
+    jmp iloop
+iloop:
+    sub r9, r6, r7
+    br ge r9, done, ibody
+ibody:
+    ldi r12, 1            ; j
+    jmp jloop
+jloop:
+    sub r9, r12, r8
+    br ge r9, inext, jbody
+jbody:
+    muli r13, r12, 8
+    add r14, r10, r13     ; &v[i][j]
+    sub r15, r14, r5      ; &v[i-1][j]
+    fload f3, r15
+    add r15, r14, r5      ; &v[i+1][j]
+    fload f4, r15
+    floadai f5, r14, -8   ; v[i][j-1]
+    floadai f6, r14, 8    ; v[i][j+1]
+    fadd f3, f3, f4
+    fadd f3, f3, f5
+    fadd f3, f3, f6
+    fmul f3, f3, f1       ; nv
+    add r15, r11, r13
+    fstore f3, r15        ; w[i][j] = nv
+    fload f7, r14
+    fsub f7, f3, f7
+    fabs f7, f7
+    fadd f2, f2, f7
+    mul r15, r6, r16
+    add r18, r18, r15
+    mul r15, r12, r17
+    add r18, r18, r15     ; ci += i*11 + j*3
+    addi r12, r12, 1
+    jmp jloop
+inext:
+    add r10, r10, r5
+    add r11, r11, r5
+    addi r6, r6, 1
+    jmp iloop
+done:
+    cvtif f3, r18
+    fadd f2, f2, f3
+    retf f2
+`
+	return &Kernel{
+		Program: "tomcatv",
+		Name:    "tomcatv",
+		Source:  src,
+		Setup: func(e *interp.Env) []interp.Value {
+			return []interp.Value{interp.Int(nx), interp.Int(ny)}
+		},
+		Check: func(e *interp.Env, out *interp.Outcome) error {
+			return approx(out.RetFloat, ref())
+		},
+	}
+}

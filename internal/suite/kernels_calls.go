@@ -1,0 +1,155 @@
+package suite
+
+import (
+	"repro/internal/interp"
+)
+
+// rkfdrv is the rkf45 driver: it calls the fehl stage evaluator twice
+// with different step sizes, keeping its own state live across both
+// calls — exactly the caller-save pressure the paper's §5.1 calling
+// convention (ten callee-save registers per class) is about.
+func rkfdrv() *Kernel {
+	const h1, h2 = 0.1, 0.05
+	ref := func() float64 {
+		return fehlReference(h1) + 2*fehlReference(h2) + 1000
+	}
+	return &Kernel{
+		Program: "rkf45",
+		Name:    "rkfdrv",
+		Source: `
+routine rkfdrv(r1)
+entry:
+    getparam r1, 0        ; n, live across both calls
+    ldi r2, 1000          ; bias, live across both calls
+    fldi f1, 0.1          ; h1
+    setarg r1, 0
+    fsetarg f1, 1
+    call fehl
+    fgetret f2            ; first stage error, live across the next call
+    fldi f3, 0.05         ; h2
+    setarg r1, 0
+    fsetarg f3, 1
+    call fehl
+    fgetret f4
+    fadd f4, f4, f4       ; weight the finer step twice
+    fadd f2, f2, f4
+    cvtif f5, r2
+    fadd f2, f2, f5
+    retf f2
+`,
+		Callees: []string{fehl().Source},
+		Setup: func(e *interp.Env) []interp.Value {
+			return []interp.Value{interp.Int(fehlN)}
+		},
+		Check: func(e *interp.Env, out *interp.Outcome) error {
+			return approx(out.RetFloat, ref())
+		},
+	}
+}
+
+// fmain mirrors fpppp's main: it drives the big twldrv stage machine and
+// the small d2esp expression kernel, holding loop state live across both
+// calls.
+func fmain() *Kernel {
+	// twldrv's rw data evolves across the three calls, so the oracle is
+	// differential: Check replays the same program with pristine
+	// virtual-register routines in a fresh environment and compares.
+	twl := twldrv()
+	d2 := d2esp()
+	return &Kernel{
+		Program: "fpppp",
+		Name:    "fmain",
+		Source: `
+routine fmain(r1)
+entry:
+    getparam r1, 0        ; n for twldrv / d2esp
+    ldi r2, 0             ; i, live across calls
+    ldi r3, 3             ; reps
+    fldi f1, 0.0          ; acc, live across calls
+    jmp loop
+loop:
+    sub r4, r2, r3
+    br ge r4, done, body
+body:
+    setarg r1, 0
+    call twldrv
+    fgetret f2
+    fadd f1, f1, f2
+    ldi r5, 8
+    setarg r5, 0
+    call d2esp
+    fgetret f3
+    fadd f1, f1, f3
+    addi r2, r2, 1
+    jmp loop
+done:
+    retf f1
+`,
+		Callees: []string{twl.Source, d2.Source},
+		Setup: func(e *interp.Env) []interp.Value {
+			return []interp.Value{interp.Int(16)}
+		},
+		Check: func(e *interp.Env, out *interp.Outcome) error {
+			refMain := fmain()
+			eref, err := interp.New(refMain.Routine(), interp.Config{Routines: refMain.CalleeRoutines()})
+			if err != nil {
+				return err
+			}
+			want, err := eref.Run(interp.Int(16))
+			if err != nil {
+				return err
+			}
+			return approx(out.RetFloat, want.RetFloat)
+		},
+	}
+}
+
+// recfib is a recursive Fibonacci kernel: two self-calls per activation,
+// with the first result live across the second call.
+func recfib() *Kernel {
+	const n = 13
+	ref := func() int64 {
+		var fib func(int) int64
+		fib = func(k int) int64 {
+			if k < 2 {
+				return int64(k)
+			}
+			return fib(k-1) + fib(k-2)
+		}
+		return fib(n)
+	}
+	return &Kernel{
+		Program: "misc",
+		Name:    "recfib",
+		Source: `
+routine recfib(r1)
+entry:
+    getparam r1, 0
+    ldi r2, 2
+    sub r2, r1, r2
+    br lt r2, base, rec
+base:
+    retr r1
+rec:
+    subi r3, r1, 1
+    setarg r3, 0
+    call recfib
+    getret r4            ; fib(n-1), live across the second call
+    subi r3, r1, 2
+    setarg r3, 0
+    call recfib
+    getret r5
+    add r4, r4, r5
+    retr r4
+`,
+		Setup: func(e *interp.Env) []interp.Value {
+			return []interp.Value{interp.Int(n)}
+		},
+		Check: func(e *interp.Env, out *interp.Outcome) error {
+			if out.RetInt != ref() {
+				return approx(float64(out.RetInt), float64(ref()))
+			}
+			return nil
+		},
+	}
+}

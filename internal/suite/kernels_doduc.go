@@ -1,0 +1,754 @@
+package suite
+
+import (
+	"math"
+
+	"repro/internal/interp"
+)
+
+// bilan is a heat-balance-style loop: ten coefficient constants defined
+// before the loop and all used inside it, then a second phase in which
+// the x pointer walks. Under pressure the allocator must choose between
+// spilling (Chaitin: store/reload) and recomputing (remat: fldi/lda).
+func bilan() *Kernel {
+	const n = 32
+	xv := func(i int) float64 { return 0.1*float64(i) - 1.3 }
+	cs := []float64{1.1, -0.7, 2.3, 0.05, -1.9, 0.42, 3.7, -0.33, 0.9, 1.75}
+	ref := func() float64 {
+		acc := 0.0
+		for i := 0; i < n; i++ {
+			x := xv(i)
+			x2 := x * x
+			acc += cs[0]*x2*x + cs[1]*x2 + cs[2]*x + cs[3]
+			acc += cs[4]*x2*x + cs[5]*x2 + cs[6]*x + cs[7]
+			acc += cs[8]*x2 + cs[9]*x
+		}
+		for i := 0; i < n; i++ {
+			acc += xv(i)*cs[0] + cs[1]
+		}
+		ci := int64(0)
+		for i := 0; i < n; i++ {
+			ci += int64(i)*7 + 2
+		}
+		return acc + float64(ci)
+	}
+	src := "routine bilan(r2)\n" +
+		dataDecl("bx", true, tabulate(n, xv)) + `
+entry:
+    getparam r2, 0
+    lda r1, bx
+    ldi r6, 7             ; checksum coefficients (pressure)
+    ldi r7, 2
+    ldi r8, 0             ; ci
+    fldi f1, 1.1
+    fldi f2, -0.7
+    fldi f3, 2.3
+    fldi f4, 0.05
+    fldi f5, -1.9
+    fldi f6, 0.42
+    fldi f7, 3.7
+    fldi f8, -0.33
+    fldi f9, 0.9
+    fldi f10, 1.75
+    fldi f11, 0.0         ; acc
+    ldi r3, 0
+    jmp loop
+loop:
+    sub r4, r3, r2
+    br ge r4, phase2, body
+body:
+    mul r9, r3, r6
+    add r9, r9, r7
+    add r8, r8, r9        ; ci += i*7 + 2
+    muli r5, r3, 8
+    add r5, r5, r1
+    fload f12, r5         ; x
+    fmul f13, f12, f12    ; x^2
+    fmul f14, f13, f12    ; x^3
+    fmul f15, f1, f14
+    fadd f11, f11, f15
+    fmul f15, f2, f13
+    fadd f11, f11, f15
+    fmul f15, f3, f12
+    fadd f11, f11, f15
+    fadd f11, f11, f4
+    fmul f15, f5, f14
+    fadd f11, f11, f15
+    fmul f15, f6, f13
+    fadd f11, f11, f15
+    fmul f15, f7, f12
+    fadd f11, f11, f15
+    fadd f11, f11, f8
+    fmul f15, f9, f13
+    fadd f11, f11, f15
+    fmul f15, f10, f12
+    fadd f11, f11, f15
+    addi r3, r3, 1
+    jmp loop
+phase2:
+    ldi r3, 0
+    jmp wloop
+wloop:
+    sub r4, r3, r2
+    br ge r4, done, wbody
+wbody:
+    fload f12, r1         ; *x (r1 walks here)
+    fmul f12, f12, f1     ; *cs0
+    fadd f12, f12, f2     ; +cs1
+    fadd f11, f11, f12
+    addi r1, r1, 8
+    addi r3, r3, 1
+    jmp wloop
+done:
+    cvtif f12, r8
+    fadd f11, f11, f12
+    retf f11
+`
+	return &Kernel{
+		Program: "doduc",
+		Name:    "bilan",
+		Source:  src,
+		Setup: func(e *interp.Env) []interp.Value {
+			return []interp.Value{interp.Int(n)}
+		},
+		Check: func(e *interp.Env, out *interp.Outcome) error {
+			return approx(out.RetFloat, ref())
+		},
+	}
+}
+
+// ddeflu runs a loop with a data-dependent diamond inside it, merging
+// values at the loop bottom — multi-valued live ranges by construction
+// (scale is reset to a constant on one arm and varied on the other).
+func ddeflu() *Kernel {
+	const n = 30
+	av := func(i int) float64 { return math.Sin(float64(i) * 0.7) }
+	ref := func() float64 {
+		acc := 0.0
+		scale := 1.0
+		bias := 0.0625
+		for i := 0; i < n; i++ {
+			a := av(i)
+			if a > 0 {
+				acc += a*2.5 + bias
+				scale = 1.0
+			} else {
+				acc -= a*0.5 - bias
+				scale = scale + 0.125
+			}
+			acc += scale
+		}
+		return acc
+	}
+	src := "routine ddeflu(r2)\n" +
+		dataDecl("dx", true, tabulate(n, av)) + `
+entry:
+    getparam r2, 0
+    lda r1, dx
+    fldi f1, 0.0          ; acc
+    fldi f2, 1.0          ; scale (reset on one arm: multi-valued)
+    fldi f3, 2.5
+    fldi f4, 0.5
+    fldi f5, 0.125
+    fldi f6, 0.0          ; zero
+    fldi f9, 0.0625       ; bias
+    ldi r3, 0
+    jmp loop
+loop:
+    sub r4, r3, r2
+    br ge r4, done, body
+body:
+    fload f7, r1          ; a (r1 walks)
+    fcmp r6, f7, f6
+    br gt r6, pos, neg
+pos:
+    fmul f8, f7, f3
+    fadd f8, f8, f9
+    fadd f1, f1, f8
+    fldi f2, 1.0          ; scale = 1
+    jmp merge
+neg:
+    fmul f8, f7, f4
+    fsub f8, f8, f9
+    fsub f1, f1, f8
+    fadd f2, f2, f5       ; scale += 1/8
+    jmp merge
+merge:
+    fadd f1, f1, f2
+    addi r1, r1, 8
+    addi r3, r3, 1
+    jmp loop
+done:
+    retf f1
+`
+	return &Kernel{
+		Program: "doduc",
+		Name:    "ddeflu",
+		Source:  src,
+		Setup: func(e *interp.Env) []interp.Value {
+			return []interp.Value{interp.Int(n)}
+		},
+		Check: func(e *interp.Env, out *interp.Outcome) error {
+			return approx(out.RetFloat, ref())
+		},
+	}
+}
+
+// debico is an integer decode loop: shifts, masks and add-immediates over
+// a packed input array walked by pointer.
+func debico() *Kernel {
+	const n = 40
+	av := func(i int) int64 { return int64(i*i*7+3) % 1024 }
+	ref := func() int64 {
+		var acc int64
+		for i := 0; i < n; i++ {
+			v := av(i)
+			hi := (v >> 4) & 63
+			lo := v & 15
+			acc += hi*17 + lo*3 + 11
+			if acc&1 == 1 {
+				acc += hi
+			}
+		}
+		return acc
+	}
+	ivals := make([]int64, n)
+	for i := range ivals {
+		ivals[i] = av(i)
+	}
+	src := "routine debico(r2)\n" +
+		intDataDecl("dv", true, ivals) + `
+entry:
+    getparam r2, 0
+    lda r1, dv
+    ldi r3, 0             ; acc
+    ldi r4, 4             ; shift
+    ldi r5, 63            ; mask hi
+    ldi r6, 15            ; mask lo
+    ldi r7, 0             ; i
+    jmp loop
+loop:
+    sub r8, r7, r2
+    br ge r8, done, body
+body:
+    load r10, r1          ; v (r1 walks)
+    shr r11, r10, r4
+    and r11, r11, r5      ; hi
+    and r12, r10, r6      ; lo
+    muli r11, r11, 17
+    muli r12, r12, 3
+    add r3, r3, r11
+    add r3, r3, r12
+    addi r3, r3, 11
+    ldi r13, 1
+    and r13, r3, r13
+    br eq r13, even, odd
+odd:
+    ldi r14, 17
+    div r11, r11, r14
+    add r3, r3, r11
+    jmp even
+even:
+    addi r1, r1, 8
+    addi r7, r7, 1
+    jmp loop
+done:
+    retr r3
+`
+	return &Kernel{
+		Program: "doduc",
+		Name:    "debico",
+		Source:  src,
+		Setup: func(e *interp.Env) []interp.Value {
+			return []interp.Value{interp.Int(n)}
+		},
+		Check: func(e *interp.Env, out *interp.Outcome) error {
+			if out.RetInt != ref() {
+				return approx(float64(out.RetInt), float64(ref()))
+			}
+			return nil
+		},
+	}
+}
+
+// debico's data initializer stores integers through the float Init path;
+// values are small enough to be exact.
+
+// drepvi walks two pointers with different strides while a read-only
+// constant is reloaded each iteration — the varying-vs-constant mix of
+// Figure 1, plus integer coefficient constants for pressure.
+func drepvi() *Kernel {
+	const n = 24
+	pv := func(i int) float64 { return float64(i) * 0.5 }
+	qv := func(i int) float64 { return 1.5 - 0.125*float64(i) }
+	ref := func() float64 {
+		k := 0.75
+		acc := 0.0
+		var ia int64
+		for i := 0; i < n; i++ {
+			acc += pv(i)*k + qv(2*i)
+			ia += int64(i)*3 + 7
+		}
+		return acc + float64(ia)
+	}
+	src := "routine drepvi(r3)\n" +
+		"data kconst ro 1 = 0.75\n" +
+		dataDecl("pv", true, tabulate(n, pv)) +
+		dataDecl("qv", true, tabulate(2*n, qv)) + `
+entry:
+    getparam r3, 0        ; n
+    lda r1, pv
+    lda r2, qv
+    ldi r4, 0             ; i
+    ldi r6, 3             ; int coefficients (pressure)
+    ldi r7, 7
+    ldi r8, 0             ; ia
+    fldi f1, 0.0          ; acc
+    jmp loop
+loop:
+    sub r5, r4, r3
+    br ge r5, done, body
+body:
+    fload f2, r1          ; *p
+    frload f3, kconst, 0  ; k (rematerializable static load)
+    fmul f2, f2, f3
+    fload f4, r2          ; *q
+    fadd f2, f2, f4
+    fadd f1, f1, f2
+    mul r9, r4, r6
+    add r9, r9, r7
+    add r8, r8, r9
+    addi r1, r1, 8        ; p++
+    addi r2, r2, 16       ; q += 2
+    addi r4, r4, 1
+    jmp loop
+done:
+    cvtif f5, r8
+    fadd f1, f1, f5
+    retf f1
+`
+	return &Kernel{
+		Program: "doduc",
+		Name:    "drepvi",
+		Source:  src,
+		Setup: func(e *interp.Env) []interp.Value {
+			return []interp.Value{interp.Int(n)}
+		},
+		Check: func(e *interp.Env, out *interp.Outcome) error {
+			return approx(out.RetFloat, ref())
+		},
+	}
+}
+
+// inithx initializes three static tables from immediates — load-immediate
+// and load-address heavy, the best case for rematerialization.
+func inithx() *Kernel {
+	const n = 16
+	return &Kernel{
+		Program: "doduc",
+		Name:    "inithx",
+		Source: `
+routine inithx(r1)
+data ta rw 16
+data tb rw 16
+data tc rw 16
+entry:
+    getparam r1, 0        ; n
+    lda r2, ta
+    lda r3, tb
+    lda r4, tc
+    ldi r5, 0             ; i
+    fldi f1, 2.25
+    fldi f2, -1.5
+    jmp loop
+loop:
+    sub r6, r5, r1
+    br ge r6, verify, body
+body:
+    muli r7, r5, 8
+    add r8, r7, r2
+    fstore f1, r8         ; ta[i] = 2.25
+    add r8, r7, r3
+    fstore f2, r8         ; tb[i] = -1.5
+    add r8, r7, r4
+    cvtif f3, r5
+    fmul f3, f3, f1
+    fstore f3, r8         ; tc[i] = 2.25*i
+    addi r5, r5, 1
+    jmp loop
+verify:
+    fldi f4, 0.0
+    ldi r5, 0
+    jmp vloop
+vloop:
+    sub r6, r5, r1
+    br ge r6, done, vbody
+vbody:
+    fload f5, r2          ; the three table pointers walk here
+    fadd f4, f4, f5
+    fload f5, r3
+    fadd f4, f4, f5
+    fload f5, r4
+    fadd f4, f4, f5
+    addi r2, r2, 8
+    addi r3, r3, 8
+    addi r4, r4, 8
+    addi r5, r5, 1
+    jmp vloop
+done:
+    retf f4
+`,
+		Setup: func(e *interp.Env) []interp.Value {
+			return []interp.Value{interp.Int(n)}
+		},
+		Check: func(e *interp.Env, out *interp.Outcome) error {
+			want := 0.0
+			for i := 0; i < n; i++ {
+				want += 2.25 + -1.5 + 2.25*float64(i)
+			}
+			return approx(out.RetFloat, want)
+		},
+	}
+}
+
+// integr is trapezoidal integration with a walking sample pointer.
+func integr() *Kernel {
+	const n = 48
+	const h = 0.05
+	fv := func(i int) float64 { return math.Exp(-0.1*float64(i)) * math.Sin(float64(i)*0.3) }
+	ref := func() float64 {
+		acc := 0.0
+		for i := 0; i < n-1; i++ {
+			acc += 0.5 * h * (fv(i) + fv(i+1))
+		}
+		return acc
+	}
+	src := "routine integr(r2, f1)\n" +
+		dataDecl("fx", true, tabulate(n, fv)) + `
+entry:
+    getparam r2, 0        ; n
+    fgetparam f1, 1       ; h
+    lda r1, fx
+    fldi f2, 0.5
+    fmul f2, f2, f1       ; h/2
+    fldi f3, 0.0          ; acc
+    subi r3, r2, 1
+    ldi r4, 0
+    jmp loop
+loop:
+    sub r5, r4, r3
+    br ge r5, done, body
+body:
+    fload f4, r1          ; f[i] (r1 walks)
+    floadai f5, r1, 8     ; f[i+1]
+    fadd f4, f4, f5
+    fmul f4, f4, f2
+    fadd f3, f3, f4
+    addi r1, r1, 8
+    addi r4, r4, 1
+    jmp loop
+done:
+    retf f3
+`
+	return &Kernel{
+		Program: "doduc",
+		Name:    "integr",
+		Source:  src,
+		Setup: func(e *interp.Env) []interp.Value {
+			return []interp.Value{interp.Int(n), interp.Float(h)}
+		},
+		Check: func(e *interp.Env, out *interp.Outcome) error {
+			return approx(out.RetFloat, ref())
+		},
+	}
+}
+
+// lectur scans records of three words until a sentinel, accumulating
+// per-field sums — an lda-rooted record pointer that walks, several live
+// accumulators and an early exit.
+func lectur() *Kernel {
+	recs := [][3]int64{{3, 10, 2}, {5, -4, 7}, {1, 1, 1}, {8, 0, -2}, {2, 9, 4}, {-1, 0, 0}}
+	ref := func() int64 {
+		var s0, s1, s2, s3, s4 int64
+		for _, r := range recs {
+			if r[0] < 0 {
+				break
+			}
+			s0 += r[0]
+			s1 += r[1] * 2
+			s2 += r[2] * 3
+			s3 += r[0] * r[1]
+			s4 += r[2] - r[0]
+		}
+		return s0 + s1*10 + s2*100 + s3*7 + s4*1000
+	}
+	flat := make([]int64, 0, len(recs)*3)
+	for _, r := range recs {
+		flat = append(flat, r[0], r[1], r[2])
+	}
+	src := "routine lectur()\n" +
+		intDataDecl("recs", true, flat) + `
+entry:
+    lda r1, recs
+    ldi r2, 0             ; s0
+    ldi r3, 0             ; s1
+    ldi r4, 0             ; s2
+    ldi r8, 0             ; s3
+    ldi r9, 0             ; s4
+    jmp loop
+loop:
+    load r5, r1           ; field 0
+    br lt r5, done, body
+body:
+    add r2, r2, r5
+    loadai r6, r1, 8
+    mul r10, r5, r6       ; r0*r1
+    add r8, r8, r10
+    muli r6, r6, 2
+    add r3, r3, r6
+    loadai r7, r1, 16
+    sub r10, r7, r5       ; r2-r0
+    add r9, r9, r10
+    muli r7, r7, 3
+    add r4, r4, r7
+    addi r1, r1, 24
+    jmp loop
+done:
+    muli r3, r3, 10
+    muli r4, r4, 100
+    muli r8, r8, 7
+    muli r9, r9, 1000
+    add r2, r2, r3
+    add r2, r2, r4
+    add r2, r2, r8
+    add r2, r2, r9
+    retr r2
+`
+	return &Kernel{
+		Program: "doduc",
+		Name:    "lectur",
+		Source:  src,
+		Setup: func(e *interp.Env) []interp.Value {
+			return nil
+		},
+		Check: func(e *interp.Env, out *interp.Outcome) error {
+			if out.RetInt != ref() {
+				return approx(float64(out.RetInt), float64(ref()))
+			}
+			return nil
+		},
+	}
+}
+
+// pastem keeps eight integer and four float accumulators live around one
+// loop — enough simultaneous live ranges to spill on the standard
+// machine once temporaries join in.
+func pastem() *Kernel {
+	const n = 25
+	av := func(i int) int64 { return int64((i*13)%17 - 8) }
+	ref := func() float64 {
+		var s [8]int64
+		var t [4]float64
+		for i := 0; i < n; i++ {
+			v := av(i)
+			s[0] += v
+			s[1] += v * 2
+			s[2] += v * 3
+			s[3] += v * 5
+			s[4] ^= v
+			s[5] += v & 7
+			s[6] += int64(uint64(v) >> 1) // shr is a logical shift
+			s[7] += v * v
+			fv := float64(v)
+			t[0] += fv * 0.5
+			t[1] += fv*fv*0.25 + 1
+			t[2] += fv - 0.125
+			t[3] += fv * 1.5
+		}
+		acc := 0.0
+		for _, x := range s {
+			acc += float64(x)
+		}
+		for _, x := range t {
+			acc += x
+		}
+		return acc
+	}
+	ivals := make([]int64, n)
+	for i := range ivals {
+		ivals[i] = av(i)
+	}
+	src := "routine pastem(r2)\n" +
+		intDataDecl("pv2", true, ivals) + `
+entry:
+    getparam r2, 0
+    lda r1, pv2
+    ldi r3, 0
+    ldi r4, 0
+    ldi r5, 0
+    ldi r6, 0
+    ldi r7, 0
+    ldi r8, 0
+    ldi r9, 0
+    ldi r10, 0
+    fldi f1, 0.0
+    fldi f2, 0.0
+    fldi f3, 0.0
+    fldi f4, 0.0
+    fldi f5, 0.5
+    fldi f6, 0.25
+    fldi f7, 0.125
+    fldi f8, 1.5
+    fldi f9, 1.0
+    ldi r11, 0            ; i
+    jmp loop
+loop:
+    sub r12, r11, r2
+    br ge r12, done, body
+body:
+    load r14, r1          ; v (r1 walks)
+    add r3, r3, r14
+    muli r15, r14, 2
+    add r4, r4, r15
+    muli r15, r14, 3
+    add r5, r5, r15
+    muli r15, r14, 5
+    add r6, r6, r15
+    xor r7, r7, r14
+    ldi r15, 7
+    and r15, r14, r15
+    add r8, r8, r15
+    ldi r15, 1
+    shr r15, r14, r15
+    add r9, r9, r15
+    mul r15, r14, r14
+    add r10, r10, r15
+    cvtif f10, r14
+    fmul f11, f10, f5
+    fadd f1, f1, f11
+    fmul f11, f10, f10
+    fmul f11, f11, f6
+    fadd f11, f11, f9
+    fadd f2, f2, f11
+    fsub f11, f10, f7
+    fadd f3, f3, f11
+    fmul f11, f10, f8
+    fadd f4, f4, f11
+    addi r1, r1, 8
+    addi r11, r11, 1
+    jmp loop
+done:
+    add r3, r3, r4
+    add r3, r3, r5
+    add r3, r3, r6
+    add r3, r3, r7
+    add r3, r3, r8
+    add r3, r3, r9
+    add r3, r3, r10
+    cvtif f10, r3
+    fadd f10, f10, f1
+    fadd f10, f10, f2
+    fadd f10, f10, f3
+    fadd f10, f10, f4
+    retf f10
+`
+	return &Kernel{
+		Program: "doduc",
+		Name:    "pastem",
+		Source:  src,
+		Setup: func(e *interp.Env) []interp.Value {
+			return []interp.Value{interp.Int(n)}
+		},
+		Check: func(e *interp.Env, out *interp.Outcome) error {
+			return approx(out.RetFloat, ref())
+		},
+	}
+}
+
+// repvid is the paper's Table 2 "small" routine: a two-level loop nest
+// sweeping rows of a static matrix against a vector, with an lda-rooted
+// walking row pointer.
+func repvid() *Kernel {
+	const rows, cols = 10, 12
+	av := func(i, j int) float64 { return float64((i*cols+j)%7) - 2.5 }
+	xvv := func(j int) float64 { return 0.5 + 0.25*float64(j%4) }
+	flat := make([]float64, rows*cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			flat[i*cols+j] = av(i, j)
+		}
+	}
+	ref := func() float64 {
+		acc := 0.0
+		ci := int64(0)
+		for i := 0; i < rows; i++ {
+			dot := 0.0
+			for j := 0; j < cols; j++ {
+				dot += av(i, j) * xvv(j)
+				ci += int64(i)*5 + int64(j)
+			}
+			acc += math.Abs(dot)
+		}
+		return acc + float64(ci)
+	}
+	src := "routine repvid(r3, r4)\n" +
+		dataDecl("ra", true, flat) +
+		dataDecl("rx", true, tabulate(cols, xvv)) + `
+entry:
+    getparam r3, 0        ; rows
+    getparam r4, 1        ; cols
+    lda r1, ra
+    lda r2, rx
+    muli r5, r4, 8        ; row stride
+    fldi f1, 0.0          ; acc
+    ldi r6, 0             ; i
+    mov r7, r1            ; row pointer (walks per row)
+    ldi r12, 5            ; checksum coefficient (pressure)
+    ldi r13, 0            ; ci
+    jmp iloop
+iloop:
+    sub r8, r6, r3
+    br ge r8, done, ibody
+ibody:
+    fldi f2, 0.0          ; dot
+    ldi r9, 0             ; j
+    jmp jloop
+jloop:
+    sub r8, r9, r4
+    br ge r8, inext, jbody
+jbody:
+    muli r10, r9, 8
+    add r11, r10, r7
+    fload f3, r11         ; a[i][j]
+    add r11, r10, r2
+    fload f4, r11         ; x[j]
+    fmul f3, f3, f4
+    fadd f2, f2, f3
+    mul r11, r6, r12
+    add r11, r11, r9
+    add r13, r13, r11     ; ci += i*5 + j
+    addi r9, r9, 1
+    jmp jloop
+inext:
+    fabs f2, f2
+    fadd f1, f1, f2
+    add r7, r7, r5
+    addi r6, r6, 1
+    jmp iloop
+done:
+    cvtif f2, r13
+    fadd f1, f1, f2
+    retf f1
+`
+	return &Kernel{
+		Program: "doduc",
+		Name:    "repvid",
+		Source:  src,
+		Setup: func(e *interp.Env) []interp.Value {
+			return []interp.Value{interp.Int(rows), interp.Int(cols)}
+		},
+		Check: func(e *interp.Env, out *interp.Outcome) error {
+			return approx(out.RetFloat, ref())
+		},
+	}
+}

@@ -1,0 +1,802 @@
+package suite
+
+import (
+	"math"
+
+	"repro/internal/interp"
+)
+
+// bilsla is bilan's slave routine: a short straight-line float block
+// inside a small loop (the paper's row improved 6%).
+func bilsla() *Kernel {
+	const n = 12
+	xv := func(i int) float64 { return 0.3*float64(i) - 1.1 }
+	ref := func() float64 {
+		acc := 0.0
+		for i := 0; i < n; i++ {
+			x := xv(i)
+			acc += (x*1.25+0.5)*(x-0.75) + 2.0
+		}
+		return acc
+	}
+	src := "routine bilsla(r2)\n" +
+		dataDecl("slx", true, tabulate(n, xv)) + `
+entry:
+    getparam r2, 0
+    lda r1, slx
+    fldi f1, 1.25
+    fldi f2, 0.5
+    fldi f3, 0.75
+    fldi f4, 2.0
+    fldi f5, 0.0          ; acc
+    ldi r3, 0
+    jmp loop
+loop:
+    sub r4, r3, r2
+    br ge r4, done, body
+body:
+    fload f6, r1          ; x (r1 walks)
+    fmul f7, f6, f1
+    fadd f7, f7, f2
+    fsub f8, f6, f3
+    fmul f7, f7, f8
+    fadd f7, f7, f4
+    fadd f5, f5, f7
+    addi r1, r1, 8
+    addi r3, r3, 1
+    jmp loop
+done:
+    retf f5
+`
+	return &Kernel{
+		Program: "doduc", Name: "bilsla", Source: src,
+		Setup: func(e *interp.Env) []interp.Value { return []interp.Value{interp.Int(n)} },
+		Check: func(e *interp.Env, out *interp.Outcome) error { return approx(out.RetFloat, ref()) },
+	}
+}
+
+// colbur mirrors the paper's degradation case: a tight loop of small
+// independent accumulations where extra split copies can only hurt.
+func colbur() *Kernel {
+	const n = 28
+	av := func(i int) int64 { return int64((i*i)%13 - 6) }
+	ref := func() int64 {
+		var s0, s1, s2, s3 int64
+		for i := 0; i < n; i++ {
+			v := av(i)
+			s0 += v
+			s1 ^= v + 3
+			s2 += v * v
+			s3 += v & 5
+		}
+		return s0 + 2*s1 + 3*s2 + 4*s3
+	}
+	ivals := make([]int64, n)
+	for i := range ivals {
+		ivals[i] = av(i)
+	}
+	src := "routine colbur(r2)\n" +
+		intDataDecl("cbv", true, ivals) + `
+entry:
+    getparam r2, 0
+    lda r1, cbv
+    ldi r3, 0             ; s0
+    ldi r4, 0             ; s1
+    ldi r5, 0             ; s2
+    ldi r6, 0             ; s3
+    ldi r7, 3             ; constants live across the loop
+    ldi r8, 5
+    ldi r9, 0             ; i
+    jmp loop
+loop:
+    sub r10, r9, r2
+    br ge r10, done, body
+body:
+    load r11, r1          ; v (r1 walks)
+    add r3, r3, r11
+    add r12, r11, r7
+    xor r4, r4, r12
+    mul r12, r11, r11
+    add r5, r5, r12
+    and r12, r11, r8
+    add r6, r6, r12
+    addi r1, r1, 8
+    addi r9, r9, 1
+    jmp loop
+done:
+    muli r4, r4, 2
+    muli r5, r5, 3
+    muli r6, r6, 4
+    add r3, r3, r4
+    add r3, r3, r5
+    add r3, r3, r6
+    retr r3
+`
+	return &Kernel{
+		Program: "doduc", Name: "colbur", Source: src,
+		Setup: func(e *interp.Env) []interp.Value { return []interp.Value{interp.Int(n)} },
+		Check: func(e *interp.Env, out *interp.Outcome) error {
+			if out.RetInt != ref() {
+				return approx(float64(out.RetInt), float64(ref()))
+			}
+			return nil
+		},
+	}
+}
+
+// deseco is the suite's second-largest routine (the paper's biggest
+// Table 1 row): three phases — a polynomial sweep, a conditional
+// correction pass, and a pointer-walking reduction — sharing constants.
+func deseco() *Kernel {
+	const n = 20
+	xv := func(i int) float64 { return math.Sin(float64(i)*1.1) * 2 }
+	ref := func() float64 {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = xv(i)
+		}
+		acc := 0.0
+		// Phase 1: polynomial accumulate.
+		for i := 0; i < n; i++ {
+			v := x[i]
+			acc += 0.9*v*v - 1.4*v + 0.2
+		}
+		// Phase 2: conditional correction writes back.
+		for i := 0; i < n; i++ {
+			if x[i] < 0 {
+				x[i] = x[i]*0.5 + 0.125
+			} else {
+				x[i] = x[i] * 1.5
+			}
+		}
+		// Phase 3: pointer-walking reduction with two strides.
+		for i := 0; i+1 < n; i += 2 {
+			acc += x[i] - 0.25*x[i+1]
+		}
+		return acc
+	}
+	src := "routine deseco(r2)\n" +
+		dataDecl("dsx", false, tabulate(n, xv)) + `
+entry:
+    getparam r2, 0
+    lda r1, dsx
+    fldi f1, 0.9
+    fldi f2, 1.4
+    fldi f3, 0.2
+    fldi f4, 0.5
+    fldi f5, 0.125
+    fldi f6, 1.5
+    fldi f7, 0.25
+    fldi f8, 0.0          ; acc
+    fldi f9, 0.0          ; zero
+    ldi r3, 0
+    jmp p1
+p1:
+    sub r4, r3, r2
+    br ge r4, p2init, p1body
+p1body:
+    muli r5, r3, 8
+    add r5, r5, r1
+    fload f10, r5         ; v
+    fmul f11, f10, f10
+    fmul f11, f11, f1
+    fmul f12, f10, f2
+    fsub f11, f11, f12
+    fadd f11, f11, f3
+    fadd f8, f8, f11
+    addi r3, r3, 1
+    jmp p1
+p2init:
+    ldi r3, 0
+    mov r6, r1            ; phase-2 walker
+    jmp p2
+p2:
+    sub r4, r3, r2
+    br ge r4, p3init, p2body
+p2body:
+    fload f10, r6
+    fcmp r7, f10, f9
+    br lt r7, neg, pos
+neg:
+    fmul f10, f10, f4
+    fadd f10, f10, f5
+    jmp wr
+pos:
+    fmul f10, f10, f6
+    jmp wr
+wr:
+    fstore f10, r6
+    addi r6, r6, 8
+    addi r3, r3, 1
+    jmp p2
+p3init:
+    ldi r3, 0
+    subi r8, r2, 1        ; n-1
+    jmp p3
+p3:
+    sub r4, r3, r8
+    br ge r4, done, p3body
+p3body:
+    fload f10, r1         ; x[i] (r1 walks by 16)
+    floadai f11, r1, 8    ; x[i+1]
+    fmul f11, f11, f7
+    fsub f10, f10, f11
+    fadd f8, f8, f10
+    addi r1, r1, 16
+    addi r3, r3, 2
+    jmp p3
+done:
+    retf f8
+`
+	return &Kernel{
+		Program: "doduc", Name: "deseco", Source: src,
+		Setup: func(e *interp.Env) []interp.Value { return []interp.Value{interp.Int(n)} },
+		Check: func(e *interp.Env, out *interp.Outcome) error { return approx(out.RetFloat, ref()) },
+	}
+}
+
+// drigl scales one array by two alternating constants in two loops.
+func drigl() *Kernel {
+	const n = 14
+	xv := func(i int) float64 { return 1 + 0.5*float64(i%5) }
+	ref := func() float64 {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = xv(i)
+		}
+		for i := 0; i < n; i++ {
+			x[i] *= 1.1
+		}
+		acc := 0.0
+		for i := 0; i < n; i++ {
+			acc += x[i] * 0.9
+		}
+		return acc
+	}
+	src := "routine drigl(r2)\n" +
+		dataDecl("dgx", false, tabulate(n, xv)) + `
+entry:
+    getparam r2, 0
+    lda r1, dgx
+    fldi f1, 1.1
+    fldi f2, 0.9
+    fldi f3, 0.0
+    ldi r3, 0
+    mov r4, r1            ; first walker
+    jmp l1
+l1:
+    sub r5, r3, r2
+    br ge r5, l2init, l1body
+l1body:
+    fload f4, r4
+    fmul f4, f4, f1
+    fstore f4, r4
+    addi r4, r4, 8
+    addi r3, r3, 1
+    jmp l1
+l2init:
+    ldi r3, 0
+    jmp l2
+l2:
+    sub r5, r3, r2
+    br ge r5, done, l2body
+l2body:
+    fload f4, r1          ; second walker (r1 itself)
+    fmul f4, f4, f2
+    fadd f3, f3, f4
+    addi r1, r1, 8
+    addi r3, r3, 1
+    jmp l2
+done:
+    retf f3
+`
+	return &Kernel{
+		Program: "doduc", Name: "drigl", Source: src,
+		Setup: func(e *interp.Env) []interp.Value { return []interp.Value{interp.Int(n)} },
+		Check: func(e *interp.Env, out *interp.Outcome) error { return approx(out.RetFloat, ref()) },
+	}
+}
+
+// heat is one explicit step of the 1-D heat equation into a second
+// array.
+func heat() *Kernel {
+	const n = 18
+	const k = 0.1
+	xv := func(i int) float64 { return math.Abs(float64(i - 9)) }
+	ref := func() float64 {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = xv(i)
+		}
+		acc := 0.0
+		for i := 1; i < n-1; i++ {
+			nv := x[i] + k*(x[i-1]-2*x[i]+x[i+1])
+			acc += nv
+		}
+		return acc
+	}
+	src := "routine heat(r2, f1)\n" +
+		dataDecl("htx", true, tabulate(n, xv)) +
+		dataDecl("hty", false, make([]float64, n)) + `
+entry:
+    getparam r2, 0        ; n
+    fgetparam f1, 1       ; k
+    lda r1, htx
+    lda r3, hty
+    fldi f2, 2.0
+    fldi f3, 0.0          ; acc
+    subi r4, r2, 1        ; n-1
+    ldi r5, 1             ; i
+    addi r6, r1, 8        ; &x[1] walker
+    addi r7, r3, 8        ; &y[1] walker
+    jmp loop
+loop:
+    sub r8, r5, r4
+    br ge r8, done, body
+body:
+    floadai f4, r6, -8    ; x[i-1]
+    fload f5, r6          ; x[i]
+    floadai f6, r6, 8     ; x[i+1]
+    fmul f7, f5, f2
+    fsub f8, f4, f7
+    fadd f8, f8, f6
+    fmul f8, f8, f1
+    fadd f8, f5, f8       ; nv
+    fstore f8, r7
+    fadd f3, f3, f8
+    addi r6, r6, 8
+    addi r7, r7, 8
+    addi r5, r5, 1
+    jmp loop
+done:
+    retf f3
+`
+	return &Kernel{
+		Program: "doduc", Name: "heat", Source: src,
+		Setup: func(e *interp.Env) []interp.Value {
+			return []interp.Value{interp.Int(n), interp.Float(k)}
+		},
+		Check: func(e *interp.Env, out *interp.Outcome) error { return approx(out.RetFloat, ref()) },
+	}
+}
+
+// ihbtr is a nested-diamond table update: two chained conditionals per
+// element select among four accumulation rules.
+func ihbtr() *Kernel {
+	const n = 26
+	av := func(i int) float64 { return math.Cos(float64(i)*0.8) * 3 }
+	ref := func() float64 {
+		acc := 0.0
+		for i := 0; i < n; i++ {
+			v := av(i)
+			if v > 0 {
+				if v > 1.5 {
+					acc += v * 2
+				} else {
+					acc += v + 0.5
+				}
+			} else {
+				if v < -1.5 {
+					acc -= v
+				} else {
+					acc += 0.25
+				}
+			}
+		}
+		return acc
+	}
+	src := "routine ihbtr(r2)\n" +
+		dataDecl("ibx", true, tabulate(n, av)) + `
+entry:
+    getparam r2, 0
+    lda r1, ibx
+    fldi f1, 0.0          ; acc
+    fldi f2, 0.0          ; zero
+    fldi f3, 1.5
+    fldi f4, -1.5
+    fldi f5, 2.0
+    fldi f6, 0.5
+    fldi f7, 0.25
+    ldi r3, 0
+    jmp loop
+loop:
+    sub r4, r3, r2
+    br ge r4, done, body
+body:
+    fload f8, r1
+    fcmp r5, f8, f2
+    br gt r5, posv, negv
+posv:
+    fcmp r5, f8, f3
+    br gt r5, big, small
+big:
+    fmul f9, f8, f5
+    fadd f1, f1, f9
+    jmp next
+small:
+    fadd f9, f8, f6
+    fadd f1, f1, f9
+    jmp next
+negv:
+    fcmp r5, f8, f4
+    br lt r5, vneg, mild
+vneg:
+    fsub f1, f1, f8
+    jmp next
+mild:
+    fadd f1, f1, f7
+    jmp next
+next:
+    addi r1, r1, 8
+    addi r3, r3, 1
+    jmp loop
+done:
+    retf f1
+`
+	return &Kernel{
+		Program: "doduc", Name: "ihbtr", Source: src,
+		Setup: func(e *interp.Env) []interp.Value { return []interp.Value{interp.Int(n)} },
+		Check: func(e *interp.Env, out *interp.Outcome) error { return approx(out.RetFloat, ref()) },
+	}
+}
+
+// inideb initializes a small table and immediately verifies it — the
+// debug sibling of inithx.
+func inideb() *Kernel {
+	const n = 10
+	return &Kernel{
+		Program: "doduc", Name: "inideb",
+		Source: `
+routine inideb(r1)
+data dbt rw 10
+entry:
+    getparam r1, 0
+    lda r2, dbt
+    fldi f1, 3.25
+    ldi r3, 0
+    mov r4, r2
+    jmp loop
+loop:
+    sub r5, r3, r1
+    br ge r5, check, body
+body:
+    cvtif f2, r3
+    fmul f2, f2, f1
+    fstore f2, r4
+    addi r4, r4, 8
+    addi r3, r3, 1
+    jmp loop
+check:
+    fldi f3, 0.0
+    ldi r3, 0
+    jmp cloop
+cloop:
+    sub r5, r3, r1
+    br ge r5, done, cbody
+cbody:
+    fload f2, r2          ; r2 walks during verification
+    fadd f3, f3, f2
+    addi r2, r2, 8
+    addi r3, r3, 1
+    jmp cloop
+done:
+    retf f3
+`,
+		Setup: func(e *interp.Env) []interp.Value { return []interp.Value{interp.Int(n)} },
+		Check: func(e *interp.Env, out *interp.Outcome) error {
+			want := 0.0
+			for i := 0; i < n; i++ {
+				want += 3.25 * float64(i)
+			}
+			return approx(out.RetFloat, want)
+		},
+	}
+}
+
+// inisla initializes two slabs with strided writes from one loop.
+func inisla() *Kernel {
+	const n = 12
+	return &Kernel{
+		Program: "doduc", Name: "inisla",
+		Source: `
+routine inisla(r1)
+data sa rw 12
+data sb rw 24
+entry:
+    getparam r1, 0
+    lda r2, sa
+    lda r3, sb
+    fldi f1, 1.75
+    fldi f2, -0.5
+    ldi r4, 0
+    jmp loop
+loop:
+    sub r5, r4, r1
+    br ge r5, sum, body
+body:
+    fstore f1, r2         ; sa[i] = 1.75      (r2 walks by 8)
+    fstore f2, r3         ; sb[2i] = -0.5     (r3 walks by 16)
+    fstoreai f1, r3, 8    ; sb[2i+1] = 1.75
+    addi r2, r2, 8
+    addi r3, r3, 16
+    addi r4, r4, 1
+    jmp loop
+sum:
+    lda r2, sa
+    lda r3, sb
+    fldi f3, 0.0
+    ldi r4, 0
+    muli r6, r1, 3        ; 3 words per iteration
+    jmp sloop
+sloop:
+    sub r5, r4, r6
+    br ge r5, done, sbody
+sbody:
+    fload f4, r2          ; interleaved read walk: sa then sb
+    fadd f3, f3, f4
+    addi r2, r2, 8
+    addi r4, r4, 1
+    sub r7, r4, r1
+    br lt r7, sloop, swap
+swap:
+    mov r2, r3            ; continue the walk over sb
+    jmp sloop2
+sloop2:
+    sub r5, r4, r6
+    br ge r5, done, sbody2
+sbody2:
+    fload f4, r2
+    fadd f3, f3, f4
+    addi r2, r2, 8
+    addi r4, r4, 1
+    jmp sloop2
+done:
+    retf f3
+`,
+		Setup: func(e *interp.Env) []interp.Value { return []interp.Value{interp.Int(n)} },
+		Check: func(e *interp.Env, out *interp.Outcome) error {
+			want := float64(n)*1.75 + float64(n)*(-0.5+1.75)
+			return approx(out.RetFloat, want)
+		},
+	}
+}
+
+// orgpar computes normalization parameters: mixed integer/float
+// reductions with a division per element.
+func orgpar() *Kernel {
+	const n = 16
+	xv := func(i int) float64 { return 1 + float64(i%7)*0.5 }
+	ref := func() float64 {
+		acc := 0.0
+		var cnt int64
+		for i := 0; i < n; i++ {
+			v := xv(i)
+			acc += 1.0 / v
+			if v > 2 {
+				cnt++
+			}
+		}
+		return acc + float64(cnt)*10
+	}
+	src := "routine orgpar(r2)\n" +
+		dataDecl("opx", true, tabulate(n, xv)) + `
+entry:
+    getparam r2, 0
+    lda r1, opx
+    fldi f1, 1.0
+    fldi f2, 2.0
+    fldi f3, 0.0          ; acc
+    ldi r3, 0             ; cnt
+    ldi r4, 0             ; i
+    jmp loop
+loop:
+    sub r5, r4, r2
+    br ge r5, done, body
+body:
+    fload f4, r1
+    fdiv f5, f1, f4
+    fadd f3, f3, f5
+    fcmp r6, f4, f2
+    br gt r6, bump, next
+bump:
+    addi r3, r3, 1
+    jmp next
+next:
+    addi r1, r1, 8
+    addi r4, r4, 1
+    jmp loop
+done:
+    muli r3, r3, 10
+    cvtif f6, r3
+    fadd f3, f3, f6
+    retf f3
+`
+	return &Kernel{
+		Program: "doduc", Name: "orgpar", Source: src,
+		Setup: func(e *interp.Env) []interp.Value { return []interp.Value{interp.Int(n)} },
+		Check: func(e *interp.Env, out *interp.Outcome) error { return approx(out.RetFloat, ref()) },
+	}
+}
+
+// paroi evaluates a wall-flux expression over paired arrays with four
+// shared constants.
+func paroi() *Kernel {
+	const n = 22
+	av := func(i int) float64 { return 0.5 + 0.1*float64(i) }
+	bv := func(i int) float64 { return 2.0 - 0.05*float64(i) }
+	ref := func() float64 {
+		acc := 0.0
+		for i := 0; i < n; i++ {
+			a, b := av(i), bv(i)
+			flux := 0.7*a*b - 1.2*a + 0.3*b + 0.05
+			acc += math.Abs(flux)
+		}
+		return acc
+	}
+	src := "routine paroi(r3)\n" +
+		dataDecl("pax", true, tabulate(n, av)) +
+		dataDecl("pbx", true, tabulate(n, bv)) + `
+entry:
+    getparam r3, 0
+    lda r1, pax
+    lda r2, pbx
+    fldi f1, 0.7
+    fldi f2, 1.2
+    fldi f3, 0.3
+    fldi f4, 0.05
+    fldi f5, 0.0          ; acc
+    ldi r4, 0
+    jmp loop
+loop:
+    sub r5, r4, r3
+    br ge r5, done, body
+body:
+    fload f6, r1          ; a (walks)
+    fload f7, r2          ; b (walks)
+    fmul f8, f6, f7
+    fmul f8, f8, f1
+    fmul f9, f6, f2
+    fsub f8, f8, f9
+    fmul f9, f7, f3
+    fadd f8, f8, f9
+    fadd f8, f8, f4
+    fabs f8, f8
+    fadd f5, f5, f8
+    addi r1, r1, 8
+    addi r2, r2, 8
+    addi r4, r4, 1
+    jmp loop
+done:
+    retf f5
+`
+	return &Kernel{
+		Program: "doduc", Name: "paroi", Source: src,
+		Setup: func(e *interp.Env) []interp.Value { return []interp.Value{interp.Int(n)} },
+		Check: func(e *interp.Env, out *interp.Outcome) error { return approx(out.RetFloat, ref()) },
+	}
+}
+
+// prophy runs three small sequential passes over one array (the paper's
+// row is a wash — 0%).
+func prophy() *Kernel {
+	const n = 15
+	xv := func(i int) float64 { return float64(i%4) + 0.5 }
+	ref := func() float64 {
+		s1, s2, s3 := 0.0, 0.0, 0.0
+		for i := 0; i < n; i++ {
+			s1 += xv(i)
+		}
+		for i := 0; i < n; i++ {
+			s2 += xv(i) * xv(i)
+		}
+		for i := 0; i < n; i++ {
+			s3 += xv(i) * 0.5
+		}
+		return s1 + s2 + s3
+	}
+	src := "routine prophy(r2)\n" +
+		dataDecl("prx", true, tabulate(n, xv)) + `
+entry:
+    getparam r2, 0
+    lda r1, prx
+    fldi f1, 0.0
+    fldi f2, 0.0
+    fldi f3, 0.0
+    fldi f4, 0.5
+    ldi r3, 0
+    mov r4, r1
+    jmp l1
+l1:
+    sub r5, r3, r2
+    br ge r5, l2init, l1b
+l1b:
+    fload f5, r4
+    fadd f1, f1, f5
+    addi r4, r4, 8
+    addi r3, r3, 1
+    jmp l1
+l2init:
+    ldi r3, 0
+    mov r4, r1
+    jmp l2
+l2:
+    sub r5, r3, r2
+    br ge r5, l3init, l2b
+l2b:
+    fload f5, r4
+    fmul f5, f5, f5
+    fadd f2, f2, f5
+    addi r4, r4, 8
+    addi r3, r3, 1
+    jmp l2
+l3init:
+    ldi r3, 0
+    jmp l3
+l3:
+    sub r5, r3, r2
+    br ge r5, done, l3b
+l3b:
+    fload f5, r1          ; r1 walks in the last pass
+    fmul f5, f5, f4
+    fadd f3, f3, f5
+    addi r1, r1, 8
+    addi r3, r3, 1
+    jmp l3
+done:
+    fadd f1, f1, f2
+    fadd f1, f1, f3
+    retf f1
+`
+	return &Kernel{
+		Program: "doduc", Name: "prophy", Source: src,
+		Setup: func(e *interp.Env) []interp.Value { return []interp.Value{interp.Int(n)} },
+		Check: func(e *interp.Env, out *interp.Outcome) error { return approx(out.RetFloat, ref()) },
+	}
+}
+
+// d2esp is a short double-precision expression kernel from fpppp.
+func d2esp() *Kernel {
+	const n = 8
+	xv := func(i int) float64 { return 0.1 + 0.2*float64(i) }
+	ref := func() float64 {
+		acc := 1.0
+		for i := 0; i < n; i++ {
+			x := xv(i)
+			acc = acc*0.5 + x*x*0.25 - x*0.125
+		}
+		return acc
+	}
+	src := "routine d2esp(r2)\n" +
+		dataDecl("d2x", true, tabulate(n, xv)) + `
+entry:
+    getparam r2, 0
+    lda r1, d2x
+    fldi f1, 1.0          ; acc
+    fldi f2, 0.5
+    fldi f3, 0.25
+    fldi f4, 0.125
+    ldi r3, 0
+    jmp loop
+loop:
+    sub r4, r3, r2
+    br ge r4, done, body
+body:
+    fload f5, r1
+    fmul f1, f1, f2
+    fmul f6, f5, f5
+    fmul f6, f6, f3
+    fadd f1, f1, f6
+    fmul f6, f5, f4
+    fsub f1, f1, f6
+    addi r1, r1, 8
+    addi r3, r3, 1
+    jmp loop
+done:
+    retf f1
+`
+	return &Kernel{
+		Program: "fpppp", Name: "d2esp", Source: src,
+		Setup: func(e *interp.Env) []interp.Value { return []interp.Value{interp.Int(n)} },
+		Check: func(e *interp.Env, out *interp.Outcome) error { return approx(out.RetFloat, ref()) },
+	}
+}

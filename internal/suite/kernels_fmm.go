@@ -1,0 +1,518 @@
+package suite
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/interp"
+)
+
+// fehl is a Runge-Kutta-Fehlberg-style stage evaluation: eight stage
+// coefficients held live across the loop plus a second phase in which the
+// y pointer walks — the lda-anchored constant-then-varying live range of
+// Figure 1. The paper's fehl row improved 27%.
+// fehlN is the vector length fehl (and its rkf45 driver) work on.
+const fehlN = 24
+
+func fehlYv(i int) float64  { return 0.5*float64(i) - 3 }
+func fehlYpv(i int) float64 { return 1.5 - 0.25*float64(i) }
+
+// fehlReference mirrors the fehl kernel's computation for a given step
+// size; the rkfdrv kernel calls fehl twice with different h.
+func fehlReference(h float64) float64 {
+	k1, k3, k4, k5, k6, k7, k8, k9 := 0.25, 0.09375, 0.28125, 0.879, 3.2, 7.17, 0.386, 0.1135
+	acc := 0.0
+	for i := 0; i < fehlN; i++ {
+		y, yp := fehlYv(i), fehlYpv(i)
+		s1 := y + h*(k1*yp)
+		s2 := y + h*(k3*yp+k4*s1)
+		s3 := y + h*(k5*yp-k6*s1+k7*s2)
+		s4 := y + h*(k8*s3+k9*s2)
+		acc += math.Abs(s2-s1) + math.Abs(s4-s3)
+	}
+	for i := 0; i < fehlN; i++ {
+		acc += fehlYv(i) * k1
+	}
+	ci := int64(0)
+	for i := 0; i < fehlN; i++ {
+		ci += int64(i)*3 + 5
+	}
+	return acc + float64(ci)
+}
+
+func fehl() *Kernel {
+	const n = fehlN
+	const h = 0.1
+	yv := fehlYv
+	ypv := fehlYpv
+	ref := func() float64 { return fehlReference(h) }
+	src := "routine fehl(r1, f1)\n" +
+		dataDecl("yv", false, tabulate(n, yv)) +
+		dataDecl("ypv", true, tabulate(n, ypv)) + `
+entry:
+    getparam r1, 0        ; n
+    fgetparam f1, 1       ; h
+    lda r2, yv            ; y base (constant here, walks in phase 2)
+    lda r3, ypv
+    fldi f2, 0.25         ; k1
+    fldi f3, 0.09375      ; k3
+    fldi f4, 0.28125      ; k4
+    fldi f5, 0.879        ; k5
+    fldi f6, 3.2          ; k6
+    fldi f7, 7.17         ; k7
+    fldi f8, 0.386        ; k8
+    fldi f9, 0.1135       ; k9
+    fldi f10, 0.0         ; acc
+    ldi r4, 0
+    ldi r9, 3             ; integer checksum coefficients (pressure)
+    ldi r10, 5
+    ldi r11, 0            ; ci
+    jmp loop
+loop:
+    sub r5, r4, r1
+    br ge r5, phase2, body
+body:
+    mul r12, r4, r9
+    add r12, r12, r10
+    add r11, r11, r12     ; ci += i*3 + 5
+    muli r6, r4, 8
+    add r7, r6, r2
+    fload f11, r7         ; y[i]
+    add r8, r6, r3
+    fload f12, r8         ; yp[i]
+    fmul f13, f2, f12
+    fmul f13, f13, f1
+    fadd f13, f11, f13    ; s1
+    fmul f14, f3, f12
+    fmul f15, f4, f13
+    fadd f14, f14, f15
+    fmul f14, f14, f1
+    fadd f14, f11, f14    ; s2
+    fmul f15, f5, f12
+    fmul f16, f6, f13
+    fsub f15, f15, f16
+    fmul f16, f7, f14
+    fadd f15, f15, f16
+    fmul f15, f15, f1
+    fadd f15, f11, f15    ; s3
+    fmul f16, f8, f15
+    fmul f17, f9, f14
+    fadd f16, f16, f17
+    fmul f16, f16, f1
+    fadd f16, f11, f16    ; s4
+    fsub f17, f14, f13
+    fabs f17, f17
+    fadd f10, f10, f17
+    fsub f17, f16, f15
+    fabs f17, f17
+    fadd f10, f10, f17
+    addi r4, r4, 1
+    jmp loop
+phase2:
+    ldi r4, 0             ; r2 now walks (multi-valued live range)
+    jmp wloop
+wloop:
+    sub r5, r4, r1
+    br ge r5, done, wbody
+wbody:
+    fload f11, r2
+    fmul f11, f11, f2     ; y[i]*k1
+    fadd f10, f10, f11
+    addi r2, r2, 8
+    addi r4, r4, 1
+    jmp wloop
+done:
+    cvtif f11, r11
+    fadd f10, f10, f11
+    retf f10
+`
+	return &Kernel{
+		Program: "rkf45",
+		Name:    "fehl",
+		Source:  src,
+		Setup: func(e *interp.Env) []interp.Value {
+			return []interp.Value{interp.Int(n), interp.Float(h)}
+		},
+		Check: func(e *interp.Env, out *interp.Outcome) error {
+			return approx(out.RetFloat, ref())
+		},
+	}
+}
+
+// spline computes first divided differences and then the variation of the
+// slopes: the b pointer is written via indexed addressing in loop 1, then
+// walks in loop 2 — a multi-valued lda-rooted live range.
+func spline() *Kernel {
+	const n = 20
+	xv := func(i int) float64 { return float64(i) + 0.25*float64(i%3) }
+	yv := func(i int) float64 { return math.Abs(float64(i-7)) * 0.5 }
+	ref := func() float64 {
+		var b [n]float64
+		for i := 0; i < n-1; i++ {
+			b[i] = (yv(i+1) - yv(i)) / (xv(i+1) - xv(i))
+		}
+		acc := 0.0
+		for i := 0; i < n-2; i++ {
+			acc += math.Abs(b[i+1] - b[i])
+		}
+		return acc
+	}
+	src := "routine spline(r4)\n" +
+		dataDecl("xs", true, tabulate(n, xv)) +
+		dataDecl("ys", true, tabulate(n, yv)) +
+		dataDecl("bs", false, make([]float64, n)) + `
+entry:
+    getparam r4, 0        ; n
+    lda r1, xs
+    lda r2, ys
+    lda r3, bs
+    subi r5, r4, 1        ; n-1
+    ldi r6, 0
+    jmp loop1
+loop1:
+    sub r7, r6, r5
+    br ge r7, mid, body1
+body1:
+    muli r8, r6, 8
+    add r9, r8, r1
+    fload f1, r9          ; x[i]
+    floadai f2, r9, 8     ; x[i+1]
+    add r9, r8, r2
+    fload f3, r9          ; y[i]
+    floadai f4, r9, 8     ; y[i+1]
+    fsub f2, f2, f1
+    fsub f4, f4, f3
+    fdiv f4, f4, f2       ; slope
+    add r9, r8, r3
+    fstore f4, r9         ; b[i] = slope
+    addi r6, r6, 1
+    jmp loop1
+mid:
+    subi r5, r4, 2        ; n-2
+    fldi f5, 0.0
+    ldi r6, 0
+    jmp loop2
+loop2:
+    sub r7, r6, r5
+    br ge r7, done, body2
+body2:
+    fload f1, r3          ; b[i]  (r3 walks: multi-valued range)
+    floadai f2, r3, 8     ; b[i+1]
+    fsub f2, f2, f1
+    fabs f2, f2
+    fadd f5, f5, f2
+    addi r3, r3, 8
+    addi r6, r6, 1
+    jmp loop2
+done:
+    retf f5
+`
+	return &Kernel{
+		Program: "seval",
+		Name:    "spline",
+		Source:  src,
+		Setup: func(e *interp.Env) []interp.Value {
+			return []interp.Value{interp.Int(n)}
+		},
+		Check: func(e *interp.Env, out *interp.Outcome) error {
+			return approx(out.RetFloat, ref())
+		},
+	}
+}
+
+// decomp is Gaussian elimination without pivoting on a small dense
+// matrix — triple-nested loops whose address arithmetic keeps the integer
+// file under pressure.
+func decomp() *Kernel {
+	const n = 6
+	av := func(i, j int) float64 {
+		if i == j {
+			return 10 + float64(i)
+		}
+		return 1 / float64(i+j+1)
+	}
+	flat := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			flat[i*n+j] = av(i, j)
+		}
+	}
+	ref := func() float64 {
+		var a [n][n]float64
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a[i][j] = av(i, j)
+			}
+		}
+		for k := 0; k < n; k++ {
+			for i := k + 1; i < n; i++ {
+				m := a[i][k] / a[k][k]
+				a[i][k] = m
+				for j := k + 1; j < n; j++ {
+					a[i][j] -= m * a[k][j]
+				}
+			}
+		}
+		acc := 0.0
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				acc += math.Abs(a[i][j])
+			}
+		}
+		return acc
+	}
+	src := "routine decomp(r2)\n" +
+		dataDecl("am", false, flat) + `
+entry:
+    getparam r2, 0        ; n
+    lda r1, am
+    ldi r3, 0             ; k
+    jmp kloop
+kloop:
+    sub r4, r3, r2
+    br ge r4, sum, kbody
+kbody:
+    muli r5, r3, 8
+    mul r6, r5, r2
+    add r6, r6, r5
+    add r6, r6, r1        ; &a[k][k]
+    fload f1, r6          ; pivot
+    addi r7, r3, 1        ; i = k+1
+    jmp iloop
+iloop:
+    sub r4, r7, r2
+    br ge r4, knext, ibody
+ibody:
+    muli r8, r7, 8
+    mul r8, r8, r2
+    add r8, r8, r1        ; &a[i][0]
+    add r9, r8, r5        ; &a[i][k]
+    fload f2, r9
+    fdiv f2, f2, f1       ; m
+    fstore f2, r9
+    addi r10, r3, 1       ; j = k+1
+    jmp jloop
+jloop:
+    sub r4, r10, r2
+    br ge r4, inext, jbody
+jbody:
+    muli r11, r10, 8
+    add r12, r8, r11      ; &a[i][j]
+    mul r13, r3, r2
+    muli r13, r13, 8
+    add r13, r13, r1
+    add r13, r13, r11     ; &a[k][j]
+    fload f3, r12
+    fload f4, r13
+    fmul f4, f4, f2
+    fsub f3, f3, f4
+    fstore f3, r12
+    addi r10, r10, 1
+    jmp jloop
+inext:
+    addi r7, r7, 1
+    jmp iloop
+knext:
+    addi r3, r3, 1
+    jmp kloop
+sum:
+    fldi f5, 0.0
+    mul r3, r2, r2
+    ldi r7, 0
+    mov r8, r1            ; walking pointer over the whole matrix
+    jmp sloop
+sloop:
+    sub r4, r7, r3
+    br ge r4, done, sbody
+sbody:
+    fload f1, r8
+    fabs f1, f1
+    fadd f5, f5, f1
+    addi r8, r8, 8
+    addi r7, r7, 1
+    jmp sloop
+done:
+    retf f5
+`
+	return &Kernel{
+		Program: "solve",
+		Name:    "decomp",
+		Source:  src,
+		Setup: func(e *interp.Env) []interp.Value {
+			return []interp.Value{interp.Int(n)}
+		},
+		Check: func(e *interp.Env, out *interp.Outcome) error {
+			return approx(out.RetFloat, ref())
+		},
+	}
+}
+
+// svd accumulates column norms and rescales each column — the
+// column-sweep pattern of the SVD's bidiagonalization phase.
+func svd() *Kernel {
+	const n = 8
+	av := func(i, j int) float64 { return math.Cos(float64(i*n+j)) * 2 }
+	flat := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			flat[i*n+j] = av(i, j)
+		}
+	}
+	ref := func() float64 {
+		var a [n][n]float64
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a[i][j] = av(i, j)
+			}
+		}
+		total := 0.0
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for i := 0; i < n; i++ {
+				s += a[i][j] * a[i][j]
+			}
+			for i := 0; i < n; i++ {
+				a[i][j] /= 1 + s
+			}
+			total += s
+		}
+		return total
+	}
+	src := "routine svd(r2)\n" +
+		dataDecl("sm", false, flat) + `
+entry:
+    getparam r2, 0        ; n
+    lda r1, sm
+    muli r3, r2, 8        ; row stride
+    fldi f1, 0.0          ; total
+    fldi f2, 1.0          ; constant one, live across everything
+    ldi r4, 0             ; j
+    jmp jloop
+jloop:
+    sub r5, r4, r2
+    br ge r5, done, jbody
+jbody:
+    muli r6, r4, 8
+    add r6, r6, r1        ; &a[0][j]
+    fldi f3, 0.0          ; s
+    ldi r7, 0             ; i
+    mov r8, r6
+    jmp nloop
+nloop:
+    sub r5, r7, r2
+    br ge r5, scale, nbody
+nbody:
+    fload f4, r8
+    fmul f4, f4, f4
+    fadd f3, f3, f4
+    add r8, r8, r3
+    addi r7, r7, 1
+    jmp nloop
+scale:
+    fadd f5, f2, f3       ; 1+s
+    ldi r7, 0
+    mov r8, r6
+    jmp sloop
+sloop:
+    sub r5, r7, r2
+    br ge r5, jnext, sbody
+sbody:
+    fload f4, r8
+    fdiv f4, f4, f5
+    fstore f4, r8
+    add r8, r8, r3
+    addi r7, r7, 1
+    jmp sloop
+jnext:
+    fadd f1, f1, f3
+    addi r4, r4, 1
+    jmp jloop
+done:
+    retf f1
+`
+	return &Kernel{
+		Program: "svd",
+		Name:    "svd",
+		Source:  src,
+		Setup: func(e *interp.Env) []interp.Value {
+			return []interp.Value{interp.Int(n)}
+		},
+		Check: func(e *interp.Env, out *interp.Outcome) error {
+			return approx(out.RetFloat, ref())
+		},
+	}
+}
+
+// zeroin is a bisection root finder for x² = c — a branchy scalar loop
+// whose float scalars stay live around every iteration.
+func zeroin() *Kernel {
+	const c = 7.0
+	const iters = 40
+	ref := func() float64 {
+		lo, hi := 0.0, 4.0
+		f := func(x float64) float64 { return x*x - c }
+		for k := 0; k < iters; k++ {
+			mid := 0.5 * (lo + hi)
+			if f(lo)*f(mid) <= 0 {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		return 0.5 * (lo + hi)
+	}
+	return &Kernel{
+		Program: "zeroin",
+		Name:    "zeroin",
+		Source: `
+routine zeroin(f1, r1)
+entry:
+    fgetparam f1, 0       ; c
+    getparam r1, 1        ; iterations
+    fldi f2, 0.0          ; lo
+    fldi f3, 4.0          ; hi
+    fldi f4, 0.5          ; half (live across the loop)
+    ldi r2, 0
+    jmp loop
+loop:
+    sub r3, r2, r1
+    br ge r3, done, body
+body:
+    fadd f5, f2, f3
+    fmul f5, f5, f4       ; mid
+    fmul f6, f2, f2
+    fsub f6, f6, f1       ; f(lo)
+    fmul f7, f5, f5
+    fsub f7, f7, f1       ; f(mid)
+    fmul f6, f6, f7
+    fldi f8, 0.0
+    fcmp r4, f6, f8
+    br le r4, high, low
+high:
+    fmov f3, f5           ; hi = mid
+    jmp next
+low:
+    fmov f2, f5           ; lo = mid
+    jmp next
+next:
+    addi r2, r2, 1
+    jmp loop
+done:
+    fadd f5, f2, f3
+    fmul f5, f5, f4
+    retf f5
+`,
+		Setup: func(e *interp.Env) []interp.Value {
+			return []interp.Value{interp.Float(c), interp.Int(iters)}
+		},
+		Check: func(e *interp.Env, out *interp.Outcome) error {
+			if err := approx(out.RetFloat, ref()); err != nil {
+				return err
+			}
+			if math.Abs(out.RetFloat*out.RetFloat-c) > 1e-9 {
+				return fmt.Errorf("root %g does not square to %g", out.RetFloat, c)
+			}
+			return nil
+		},
+	}
+}

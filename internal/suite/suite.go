@@ -1,0 +1,191 @@
+// Package suite holds the benchmark kernels the experiments run. The
+// paper's suite is seventy FORTRAN routines from Forsythe-Malcolm-Moler
+// and SPEC89 (doduc, fpppp, matrix300, tomcatv); those sources are not
+// available offline, so each kernel here is a synthetic ILOC routine
+// named after one of the paper's routines and built to recreate its
+// register-pressure pattern — deep loops over arrays, address arithmetic,
+// loop-invariant pointers and clusters of floating-point constants (see
+// DESIGN.md §4 on substitutions).
+//
+// Every kernel carries a Setup that builds its memory image and a Check
+// that validates the outcome against a Go reference computation, so the
+// allocator's output is verified semantically, not just structurally.
+package suite
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/iloc"
+	"repro/internal/interp"
+)
+
+// Kernel is one routine of the suite.
+type Kernel struct {
+	// Program and Name mirror the paper's Table 1 labels.
+	Program string
+	Name    string
+	// Source is the ILOC text (parse with Routine).
+	Source string
+	// Callees holds the ILOC sources of routines the kernel calls.
+	Callees []string
+	// Setup allocates and fills the kernel's memory in e and returns the
+	// argument list for Run.
+	Setup func(e *interp.Env) []interp.Value
+	// Check validates an execution against the reference computation.
+	Check func(e *interp.Env, out *interp.Outcome) error
+}
+
+// Routine parses the kernel's source.
+func (k *Kernel) Routine() *iloc.Routine {
+	rt, err := iloc.Parse(k.Source)
+	if err != nil {
+		panic(fmt.Sprintf("suite %s/%s: %v", k.Program, k.Name, err))
+	}
+	return rt
+}
+
+// CalleeRoutines parses the kernel's callees.
+func (k *Kernel) CalleeRoutines() []*iloc.Routine {
+	out := make([]*iloc.Routine, 0, len(k.Callees))
+	for _, src := range k.Callees {
+		rt, err := iloc.Parse(src)
+		if err != nil {
+			panic(fmt.Sprintf("suite %s/%s callee: %v", k.Program, k.Name, err))
+		}
+		out = append(out, rt)
+	}
+	return out
+}
+
+// Execute builds an environment for rt (the kernel's routine, possibly
+// allocated), runs it with the kernel's setup and validates the result.
+// Callees run in virtual-register form; use ExecuteWith to supply
+// allocated ones.
+func (k *Kernel) Execute(rt *iloc.Routine) (*interp.Outcome, error) {
+	return k.ExecuteWith(rt, k.CalleeRoutines())
+}
+
+// ExecuteWith runs rt with explicit callee routines (e.g., allocated
+// versions) and validates the result.
+func (k *Kernel) ExecuteWith(rt *iloc.Routine, callees []*iloc.Routine) (*interp.Outcome, error) {
+	e, err := interp.New(rt, interp.Config{Routines: callees})
+	if err != nil {
+		return nil, err
+	}
+	args := k.Setup(e)
+	out, err := e.Run(args...)
+	if err != nil {
+		return nil, err
+	}
+	if err := k.Check(e, out); err != nil {
+		return out, fmt.Errorf("%s/%s: %w", k.Program, k.Name, err)
+	}
+	return out, nil
+}
+
+// dataDecl renders a "data" directive with float initializers, for
+// kernels that generate their sources. FORTRAN arrays live in the static
+// data area, so suite kernels anchor their arrays with lda — the paper's
+// "computing a constant offset from the static data area pointer"
+// rematerialization category.
+func dataDecl(label string, readOnly bool, vals []float64) string {
+	mode := "rw"
+	if readOnly {
+		mode = "ro"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "data %s %s %d =", label, mode, len(vals))
+	for _, v := range vals {
+		s := strconv.FormatFloat(v, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		b.WriteString(" " + s)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// intDataDecl renders a "data" directive with integer initializers
+// (stored as integer words by the interpreter).
+func intDataDecl(label string, readOnly bool, vals []int64) string {
+	mode := "rw"
+	if readOnly {
+		mode = "ro"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "data %s %s %d =", label, mode, len(vals))
+	for _, v := range vals {
+		fmt.Fprintf(&b, " %d", v)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// tabulate evaluates f at 0..n-1.
+func tabulate(n int, f func(int) float64) []float64 {
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = f(i)
+	}
+	return vals
+}
+
+// approx compares floats with a relative tolerance.
+func approx(got, want float64) error {
+	if math.IsNaN(got) || math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+		return fmt.Errorf("result %g, want %g", got, want)
+	}
+	return nil
+}
+
+// All returns every kernel, ordered as in Table 1.
+func All() []*Kernel {
+	return []*Kernel{
+		fehl(),
+		rkfdrv(),
+		recfib(),
+		spline(),
+		decomp(),
+		svd(),
+		zeroin(),
+		bilan(),
+		bilsla(),
+		colbur(),
+		ddeflu(),
+		debico(),
+		deseco(),
+		drepvi(),
+		drigl(),
+		heat(),
+		ihbtr(),
+		inideb(),
+		inisla(),
+		inithx(),
+		integr(),
+		lectur(),
+		orgpar(),
+		paroi(),
+		pastem(),
+		prophy(),
+		repvid(),
+		d2esp(),
+		fmain(),
+		twldrv(),
+		sgemm(),
+		tomcatv(),
+	}
+}
+
+// ByName returns the kernel with the given routine name, or nil.
+func ByName(name string) *Kernel {
+	for _, k := range All() {
+		if k.Name == name {
+			return k
+		}
+	}
+	return nil
+}

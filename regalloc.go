@@ -1,0 +1,198 @@
+// Package regalloc is a reproduction of "Rematerialization" by Preston
+// Briggs, Keith D. Cooper and Linda Torczon (PLDI 1992): a Chaitin-style
+// optimistic graph-coloring register allocator extended so that
+// multi-valued live ranges can be rematerialized — recomputed where they
+// are needed — instead of spilled to memory.
+//
+// The public surface wraps the internal packages:
+//
+//   - ILOC, the paper's low-level intermediate language (Parse, Print,
+//     Verify, the Builder);
+//   - the allocator itself (Allocate with ModeChaitin for the paper's
+//     baseline or ModeRemat for its contribution);
+//   - the execution harness that replaces the paper's translate-to-C
+//     methodology (Run, NewEnv) plus the Figure 4 C translator
+//     (TranslateC);
+//   - the benchmark suite and the experiment drivers that regenerate the
+//     paper's tables and figures (Suite, Table1, Table2, Figure1..4).
+//
+// Quick start:
+//
+//	rt, err := regalloc.Parse(src)
+//	res, err := regalloc.Allocate(rt, regalloc.Options{
+//	    Machine: regalloc.StandardMachine(),
+//	    Mode:    regalloc.ModeRemat,
+//	})
+//	out, err := regalloc.Run(res.Routine, regalloc.Int(100))
+package regalloc
+
+import (
+	"repro/internal/core"
+	"repro/internal/ctrans"
+	"repro/internal/experiments"
+	"repro/internal/iloc"
+	"repro/internal/interp"
+	"repro/internal/suite"
+	"repro/internal/target"
+)
+
+// Core IR types. Routine is a procedure in ILOC form; Instr one
+// instruction; Block a basic block; Builder a programmatic constructor.
+type (
+	Routine = iloc.Routine
+	Instr   = iloc.Instr
+	Block   = iloc.Block
+	Builder = iloc.Builder
+	Reg     = iloc.Reg
+)
+
+// Machine describes a register file and cycle cost model.
+type Machine = target.Machine
+
+// Options configures Allocate; Result is a finished allocation.
+type (
+	Options = core.Options
+	Result  = core.Result
+	Mode    = core.Mode
+)
+
+// Allocator modes: the paper's baseline and its contribution.
+const (
+	// ModeChaitin reproduces Chaitin's limited rematerialization: a live
+	// range is recomputed only when all of its definitions are the same
+	// never-killed instruction (the "Optimistic" column of Table 1).
+	ModeChaitin = core.ModeChaitin
+	// ModeRemat is the paper's approach: per-value tags propagated over
+	// the SSA graph, split insertion, conservative coalescing, biased
+	// coloring (the "Rematerialization" column of Table 1).
+	ModeRemat = core.ModeRemat
+)
+
+// Execution harness types.
+type (
+	Env     = interp.Env
+	Outcome = interp.Outcome
+	Value   = interp.Value
+)
+
+// Kernel is one routine of the benchmark suite.
+type Kernel = suite.Kernel
+
+// Parse reads the textual form of a routine. See internal/iloc for the
+// grammar; Print output round-trips.
+func Parse(src string) (*Routine, error) { return iloc.Parse(src) }
+
+// MustParse is Parse that panics on error.
+func MustParse(src string) *Routine { return iloc.MustParse(src) }
+
+// ParseProgram reads a file holding several routines; the first is the
+// entry point, the rest callees for RunProgram.
+func ParseProgram(src string) ([]*Routine, error) { return iloc.ParseProgram(src) }
+
+// Print renders a routine in the form Parse accepts.
+func Print(rt *Routine) string { return iloc.Print(rt) }
+
+// Verify checks a routine's structural invariants.
+func Verify(rt *Routine) error { return iloc.Verify(rt, false) }
+
+// NewBuilder starts programmatic construction of a routine.
+func NewBuilder(name string) *Builder { return iloc.NewBuilder(name) }
+
+// StandardMachine returns the paper's test machine: sixteen integer and
+// sixteen floating-point registers, loads and stores costing two cycles.
+func StandardMachine() *Machine { return target.Standard() }
+
+// HugeMachine returns the paper's 128-register baseline machine.
+func HugeMachine() *Machine { return target.Huge() }
+
+// MachineWithRegs returns a machine with n registers per class, for
+// register-set sweeps.
+func MachineWithRegs(n int) *Machine { return target.WithRegs(n) }
+
+// Allocate maps the routine's virtual registers onto a machine. The
+// input is not modified; Result.Routine holds the allocated clone with
+// spill code inserted and register numbers equal to physical colors.
+func Allocate(rt *Routine, opts Options) (*Result, error) { return core.Allocate(rt, opts) }
+
+// NewEnv builds an execution environment for a routine (frame + static
+// data). Use Env.Alloc/SetInt/SetFloat to stage inputs, then Env.Run.
+func NewEnv(rt *Routine) (*Env, error) { return interp.New(rt, interp.Config{}) }
+
+// Run executes a routine in a fresh environment, returning dynamic
+// instruction counts and the returned value.
+func Run(rt *Routine, args ...Value) (*Outcome, error) {
+	e, err := NewEnv(rt)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(args...)
+}
+
+// RunProgram executes a multi-routine program: rt is the entry point and
+// callees resolve its call instructions. Counts cover all activations.
+func RunProgram(rt *Routine, callees []*Routine, args ...Value) (*Outcome, error) {
+	e, err := interp.New(rt, interp.Config{Routines: callees})
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(args...)
+}
+
+// Int and Float build routine arguments.
+func Int(v int64) Value     { return interp.Int(v) }
+func Float(f float64) Value { return interp.Float(f) }
+
+// TranslateC renders a routine as the instrumented C of the paper's
+// Figure 4.
+func TranslateC(rt *Routine) (string, error) { return ctrans.Translate(rt) }
+
+// Suite returns the benchmark kernels (synthetic analogs of the paper's
+// seventy-routine FORTRAN suite; see DESIGN.md on substitutions).
+func Suite() []*Kernel { return suite.All() }
+
+// KernelByName looks up a suite kernel.
+func KernelByName(name string) *Kernel { return suite.ByName(name) }
+
+// Experiment drivers. Each regenerates one of the paper's artifacts.
+type (
+	Table1Config = experiments.Table1Config
+	Table1Row    = experiments.Table1Row
+	Table2Column = experiments.Table2Column
+)
+
+// Table1 reproduces the spill-cost comparison of the paper's Table 1.
+func Table1(cfg Table1Config) ([]Table1Row, error) { return experiments.Table1(cfg) }
+
+// FormatTable1 renders Table 1 rows in the paper's layout.
+func FormatTable1(rows []Table1Row) string { return experiments.FormatTable1(rows) }
+
+// Table2 reproduces the per-phase allocation-time table.
+func Table2(m *Machine, runs int) ([]Table2Column, error) { return experiments.Table2(m, runs) }
+
+// FormatTable2 renders Table 2 columns.
+func FormatTable2(cols []Table2Column) string { return experiments.FormatTable2(cols) }
+
+// Figure1 reproduces the rematerialization-versus-spilling comparison.
+func Figure1() (*experiments.Figure1Result, error) { return experiments.Figure1() }
+
+// Figure2 traces the allocator pipeline on a spilling example.
+func Figure2() (string, error) { return experiments.Figure2() }
+
+// Figure3 walks the split-insertion example.
+func Figure3() (*experiments.Figure3Result, error) { return experiments.Figure3() }
+
+// Figure4 renders the ILOC-and-instrumented-C figure.
+func Figure4() (string, error) { return experiments.FormatFigure4() }
+
+// SplittingRow is one line of the §6 splitting-scheme study.
+type SplittingRow = experiments.SplittingRow
+
+// SplittingSchemes lists the §6 schemes the study sweeps.
+func SplittingSchemes() []core.SplitScheme { return experiments.SplittingSchemes }
+
+// SplittingStudy reproduces §6's comparison of live-range splitting
+// schemes against the plain rematerializing allocator.
+func SplittingStudy(m *Machine) ([]SplittingRow, error) { return experiments.SplittingStudy(m) }
+
+// FormatSplitting renders the study.
+func FormatSplitting(rows []SplittingRow) string { return experiments.FormatSplitting(rows) }
