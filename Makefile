@@ -1,0 +1,26 @@
+# Tier-1 verification: formatting, vet, build, tests. CI and the README
+# both point here; `make check` must pass before merging.
+
+GO ?= go
+
+.PHONY: check fmt vet build test bench
+
+check: fmt vet build test
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run ^$$ .

@@ -65,6 +65,28 @@ func TestCLIRallocAllocatesFile(t *testing.T) {
 	}
 }
 
+// -stats prints the instrumented pipeline's per-pass table and must not
+// perturb the allocation itself: stdout is identical with and without it,
+// on the standard machine and the tiny 3-register one.
+func TestCLIRallocPerPassStats(t *testing.T) {
+	bin := buildCmd(t, "ralloc")
+	for _, regs := range []string{"16", "3"} {
+		plain, _ := runCmd(t, bin, "", "-regs", regs, "testdata/sumabs.iloc")
+		withStats, stderr := runCmd(t, bin, "", "-regs", regs, "-stats", "testdata/sumabs.iloc")
+		if plain != withStats {
+			t.Fatalf("regs=%s: -stats changed the allocation:\n--- plain ---\n%s--- stats ---\n%s", regs, plain, withStats)
+		}
+		for _, pass := range []string{"iter", "pass", "cfa", "renumber", "build", "simplify", "select"} {
+			if !strings.Contains(stderr, pass) {
+				t.Fatalf("regs=%s: per-pass stats missing %q:\n%s", regs, pass, stderr)
+			}
+		}
+		if !strings.Contains(stderr, "iteration(s)") {
+			t.Fatalf("regs=%s: summary line missing:\n%s", regs, stderr)
+		}
+	}
+}
+
 func TestCLIRallocEmitsC(t *testing.T) {
 	bin := buildCmd(t, "ralloc")
 	out, _ := runCmd(t, bin, "", "-c", "testdata/sumabs.iloc")

@@ -79,6 +79,7 @@ func main() {
 		t := res.TotalTimes()
 		fmt.Fprintf(os.Stderr, "phases: cfa=%v renum=%v build=%v costs=%v color=%v spill=%v total=%v\n",
 			t.CFA, t.Renumber, t.Build, t.Costs, t.Color, t.Spill, t.Total())
+		fmt.Fprint(os.Stderr, core.FormatStats(res))
 	}
 }
 

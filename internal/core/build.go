@@ -56,35 +56,11 @@ func (a *allocator) buildGraph(cs *classState) {
 	}
 }
 
-// coalesce runs the two-round scheme of §4.2 for one class: unrestricted
-// coalescing of ordinary copies to a fixpoint, then (in ModeRemat)
-// conservative coalescing of split copies to a fixpoint, rebuilding the
-// interference graph between passes. It returns the number of copies
-// removed and leaves cs.graph valid for the costs and coloring phases.
-func (a *allocator) coalesce(cs *classState) int {
-	removed := 0
-	for {
-		a.buildGraph(cs)
-		m := a.coalescePass(cs, false)
-		removed += m
-		if m == 0 {
-			break
-		}
-	}
-	if a.opts.Mode == ModeRemat && !a.opts.DisableConservativeCoalescing {
-		for {
-			a.buildGraph(cs)
-			m := a.coalescePass(cs, true)
-			removed += m
-			if m == 0 {
-				break
-			}
-		}
-	}
-	return removed
-}
-
-// coalescePass scans for removable copies of one kind. Ordinary copies
+// coalescePass scans for removable copies of one kind. The pipeline's
+// two coalescing passes drive it to a fixpoint — unrestricted over
+// ordinary copies, then (in ModeRemat) conservative over split copies —
+// rebuilding the interference graph between scans; see pipeline.go.
+// Ordinary copies
 // (splitRound false) coalesce whenever the ends do not interfere; split
 // copies additionally require the merged node to have fewer than k
 // neighbors of significant degree, so the combined range provably still

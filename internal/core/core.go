@@ -16,7 +16,6 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/cfg"
 	"repro/internal/disjoint"
 	"repro/internal/ig"
 	"repro/internal/iloc"
@@ -98,12 +97,18 @@ func (p PhaseTimes) Total() time.Duration {
 	return p.CFA + p.Renumber + p.Build + p.Costs + p.Color + p.Spill
 }
 
-// IterationStats describes one round of the allocator.
+// IterationStats describes one round of the allocator: the coarse phase
+// times Table 2 prints, aggregate counts, and the per-pass breakdown the
+// pipeline runner records (see pipeline.go).
 type IterationStats struct {
 	Times     PhaseTimes
 	Spilled   [iloc.NumClasses]int // live ranges spilled this round
+	Remat     [iloc.NumClasses]int // subset of Spilled handled by rematerialization
 	Coalesced int                  // copies removed by coalescing
 	Splits    int                  // split copies inserted by renumber
+	// Passes records each pipeline pass this round actually ran, in
+	// execution order, with its wall time and effect.
+	Passes []PassStat
 }
 
 // Result is a finished allocation.
@@ -206,111 +211,6 @@ func Allocate(rt *iloc.Routine, opts Options) (*Result, error) {
 		}
 	}
 	return nil, fmt.Errorf("core: allocation of %s did not converge in %d iterations", rt.Name, opts.MaxIterations)
-}
-
-// round runs one pass of Figure 2's pipeline. done is true when select
-// colored every live range and the code has been rewritten.
-func (a *allocator) round() (IterationStats, bool, error) {
-	var st IterationStats
-
-	t0 := time.Now()
-	if err := cfg.Build(a.rt); err != nil {
-		return st, false, err
-	}
-	if _, err := cfg.SplitCriticalEdges(a.rt); err != nil {
-		return st, false, err
-	}
-	tree, loops, err := cfg.Analyze(a.rt)
-	if err != nil {
-		return st, false, err
-	}
-	st.Times.CFA = time.Since(t0)
-
-	t0 = time.Now()
-	splits, err := a.renumber(tree, loops)
-	if err != nil {
-		return st, false, err
-	}
-	st.Splits = splits
-	st.Times.Renumber = time.Since(t0)
-
-	t0 = time.Now()
-	for _, cs := range a.classes {
-		st.Coalesced += a.coalesce(cs)
-		if a.opts.Mode == ModeChaitin {
-			// Chaitin's whole-range rule: a live range rematerializes
-			// only if all of its remaining definitions are the same
-			// never-killed instruction. Evaluated after coalescing so
-			// deleted copies do not count as definitions.
-			a.computeChaitinTags(cs)
-		}
-	}
-	st.Times.Build = time.Since(t0)
-
-	t0 = time.Now()
-	for _, cs := range a.classes {
-		a.computeCosts(cs)
-	}
-	st.Times.Costs = time.Since(t0)
-
-	// Profitable spills (§5.2: "some spills are profitable"): a
-	// rematerializable range whose deleted definitions outweigh its
-	// per-use recomputation has negative cost — spilling it removes
-	// instructions outright, registers or no registers. Handle these
-	// before coloring and go around the loop again.
-	t0 = time.Now()
-	profitable := false
-	for ci, cs := range a.classes {
-		var neg []int
-		for v := 1; v < a.rt.NumRegs(cs.c); v++ {
-			if cs.inCode[v] && cs.find(v) == v && !cs.mustNot[v] && cs.cost[v] < 0 {
-				neg = append(neg, v)
-			}
-		}
-		if len(neg) > 0 {
-			a.resetSlots()
-			a.insertSpills(cs, neg)
-			st.Spilled[ci] += len(neg)
-			profitable = true
-		}
-	}
-	if profitable {
-		st.Times.Spill = time.Since(t0)
-		return st, false, nil
-	}
-
-	t0 = time.Now()
-	anySpill := false
-	var spilled [iloc.NumClasses][]int
-	for ci, cs := range a.classes {
-		a.simplify(cs)
-		spilled[ci] = a.selectColors(cs)
-		st.Spilled[ci] = len(spilled[ci])
-		if len(spilled[ci]) > 0 {
-			anySpill = true
-		}
-	}
-	st.Times.Color = time.Since(t0)
-
-	if !anySpill {
-		if err := a.rewriteColors(); err != nil {
-			return st, false, err
-		}
-		if err := a.threadJumps(); err != nil {
-			return st, false, err
-		}
-		return st, true, nil
-	}
-
-	t0 = time.Now()
-	a.resetSlots()
-	for ci, cs := range a.classes {
-		if len(spilled[ci]) > 0 {
-			a.insertSpills(cs, spilled[ci])
-		}
-	}
-	st.Times.Spill = time.Since(t0)
-	return st, false, nil
 }
 
 // scanFrameBase finds the first fp-relative offset beyond any the routine

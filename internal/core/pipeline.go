@@ -1,0 +1,399 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cfg"
+	"repro/internal/dom"
+	"repro/internal/iloc"
+)
+
+// This file turns Figure 2's allocator loop into an explicit pipeline:
+// each phase — build, the two coalescing rounds, spill costs, simplify,
+// biased select, spill insertion — is a Pass with a uniform signature,
+// and a small runner executes them in order, timing every pass and
+// recording what it did (graph size, coalesces, spills, splits) into the
+// Result. The paper presents the allocator exactly this way ("the
+// allocator iterates the sequence renumber, build, coalesce, ...", §4),
+// and keeping the stages first-class lets the experiment drivers report
+// where allocation time goes without re-instrumenting the loop.
+
+// PassStat records one execution of one pipeline pass within one
+// iteration of the allocator loop. Fields that do not apply to a pass
+// (e.g. coalesce counts during costs) are left zero.
+type PassStat struct {
+	Name string
+	Time time.Duration
+
+	// Nodes and Edges are the interference graph size (both classes
+	// summed) after a graph-touching pass: live-range roots present in
+	// the code, and edges between them.
+	Nodes int
+	Edges int
+
+	// Coalesced counts copies removed by a coalescing pass, Splits the
+	// split copies renumber inserted, Spilled the live ranges given
+	// spill code, and Remat the subset handled by rematerialization
+	// rather than store/reload.
+	Coalesced int
+	Splits    int
+	Spilled   int
+	Remat     int
+}
+
+// roundCtx carries the state that flows between the passes of one round:
+// the control-flow analyses the early passes produce and the uncolored
+// ranges select hands to spill insertion.
+type roundCtx struct {
+	tree  *dom.Tree
+	loops []*cfg.Loop
+
+	spilled  [iloc.NumClasses][]int
+	anySpill bool
+
+	stop bool // end this round early and go around the loop again
+	done bool // allocation complete: code rewritten to physical colors
+}
+
+// A Pass is one named stage of the allocator pipeline. All passes share
+// one signature: they mutate the allocator's working routine and
+// per-class state, report what they did through the stat, and steer the
+// round through the context (stop/done).
+type Pass struct {
+	// name identifies the pass in stats output.
+	name string
+	// times selects the Table 2 phase row this pass's wall time accrues
+	// to, keeping the coarse PhaseTimes breakdown the experiments print.
+	times func(*PhaseTimes) *time.Duration
+	// when gates the pass; nil means always run. Skipped passes do not
+	// appear in the iteration's stats.
+	when func(a *allocator, ctx *roundCtx) bool
+	// run does the work.
+	run func(a *allocator, ctx *roundCtx, st *IterationStats, ps *PassStat) error
+}
+
+// Name returns the pass's name as it appears in stats output.
+func (p *Pass) Name() string { return p.name }
+
+// allocPipeline is Figure 2's loop body in order. One trip through it is
+// one iteration of the spill/color loop; the runner stops early when a
+// pass sets stop (profitable spills found) or when rewrite marks the
+// allocation done.
+var allocPipeline = []*Pass{
+	passCFA,
+	passRenumber,
+	passBuild,
+	passCoalesceAggressive,
+	passCoalesceConservative,
+	passChaitinTags,
+	passCosts,
+	passProfitableSpills,
+	passSimplify,
+	passSelect,
+	passRewrite,
+	passSpillInsert,
+}
+
+// PassNames lists the pipeline's passes in execution order (conditional
+// passes included).
+func PassNames() []string {
+	names := make([]string, len(allocPipeline))
+	for i, p := range allocPipeline {
+		names[i] = p.name
+	}
+	return names
+}
+
+var passCFA = &Pass{
+	name:  "cfa",
+	times: func(t *PhaseTimes) *time.Duration { return &t.CFA },
+	run: func(a *allocator, ctx *roundCtx, _ *IterationStats, _ *PassStat) error {
+		if err := cfg.Build(a.rt); err != nil {
+			return err
+		}
+		if _, err := cfg.SplitCriticalEdges(a.rt); err != nil {
+			return err
+		}
+		tree, loops, err := cfg.Analyze(a.rt)
+		if err != nil {
+			return err
+		}
+		ctx.tree, ctx.loops = tree, loops
+		return nil
+	},
+}
+
+var passRenumber = &Pass{
+	name:  "renumber",
+	times: func(t *PhaseTimes) *time.Duration { return &t.Renumber },
+	run: func(a *allocator, ctx *roundCtx, st *IterationStats, ps *PassStat) error {
+		splits, err := a.renumber(ctx.tree, ctx.loops)
+		if err != nil {
+			return err
+		}
+		st.Splits = splits
+		ps.Splits = splits
+		return nil
+	},
+}
+
+var passBuild = &Pass{
+	name:  "build",
+	times: func(t *PhaseTimes) *time.Duration { return &t.Build },
+	run: func(a *allocator, _ *roundCtx, _ *IterationStats, ps *PassStat) error {
+		for _, cs := range a.classes {
+			a.buildGraph(cs)
+		}
+		a.graphStats(ps)
+		return nil
+	},
+}
+
+var passCoalesceAggressive = &Pass{
+	name:  "coalesce",
+	times: func(t *PhaseTimes) *time.Duration { return &t.Build },
+	run: func(a *allocator, _ *roundCtx, st *IterationStats, ps *PassStat) error {
+		// Unrestricted coalescing of ordinary copies to a fixpoint,
+		// rebuilding the graph between passes (§4.2's first round). The
+		// graph for this round was just built by the build pass.
+		for _, cs := range a.classes {
+			for {
+				m := a.coalescePass(cs, false)
+				ps.Coalesced += m
+				if m == 0 {
+					break
+				}
+				a.buildGraph(cs)
+			}
+		}
+		st.Coalesced += ps.Coalesced
+		a.graphStats(ps)
+		return nil
+	},
+}
+
+var passCoalesceConservative = &Pass{
+	name:  "coalesce-cons",
+	times: func(t *PhaseTimes) *time.Duration { return &t.Build },
+	when: func(a *allocator, _ *roundCtx) bool {
+		return a.opts.Mode == ModeRemat && !a.opts.DisableConservativeCoalescing
+	},
+	run: func(a *allocator, _ *roundCtx, st *IterationStats, ps *PassStat) error {
+		// Conservative coalescing of split copies (§4.2's second round):
+		// a split merges only when the combined range provably still
+		// simplifies.
+		for _, cs := range a.classes {
+			for {
+				a.buildGraph(cs)
+				m := a.coalescePass(cs, true)
+				ps.Coalesced += m
+				if m == 0 {
+					break
+				}
+			}
+		}
+		st.Coalesced += ps.Coalesced
+		a.graphStats(ps)
+		return nil
+	},
+}
+
+var passChaitinTags = &Pass{
+	name:  "tags",
+	times: func(t *PhaseTimes) *time.Duration { return &t.Build },
+	when:  func(a *allocator, _ *roundCtx) bool { return a.opts.Mode == ModeChaitin },
+	run: func(a *allocator, _ *roundCtx, _ *IterationStats, _ *PassStat) error {
+		// Chaitin's whole-range rule: a live range rematerializes only
+		// if all of its remaining definitions are the same never-killed
+		// instruction. Evaluated after coalescing so deleted copies do
+		// not count as definitions.
+		for _, cs := range a.classes {
+			a.computeChaitinTags(cs)
+		}
+		return nil
+	},
+}
+
+var passCosts = &Pass{
+	name:  "costs",
+	times: func(t *PhaseTimes) *time.Duration { return &t.Costs },
+	run: func(a *allocator, _ *roundCtx, _ *IterationStats, _ *PassStat) error {
+		for _, cs := range a.classes {
+			a.computeCosts(cs)
+		}
+		return nil
+	},
+}
+
+var passProfitableSpills = &Pass{
+	name:  "spill-profitable",
+	times: func(t *PhaseTimes) *time.Duration { return &t.Spill },
+	run: func(a *allocator, ctx *roundCtx, st *IterationStats, ps *PassStat) error {
+		// Profitable spills (§5.2: "some spills are profitable"): a
+		// rematerializable range whose deleted definitions outweigh its
+		// per-use recomputation has negative cost — spilling it removes
+		// instructions outright, registers or no registers. Handle these
+		// before coloring and go around the loop again.
+		for ci, cs := range a.classes {
+			var neg []int
+			for v := 1; v < a.rt.NumRegs(cs.c); v++ {
+				if cs.inCode[v] && cs.find(v) == v && !cs.mustNot[v] && cs.cost[v] < 0 {
+					neg = append(neg, v)
+				}
+			}
+			if len(neg) > 0 {
+				a.resetSlots()
+				spilled, remat := a.insertSpills(cs, neg)
+				st.Spilled[ci] += spilled
+				st.Remat[ci] += remat
+				ps.Spilled += spilled
+				ps.Remat += remat
+				ctx.stop = true
+			}
+		}
+		return nil
+	},
+}
+
+var passSimplify = &Pass{
+	name:  "simplify",
+	times: func(t *PhaseTimes) *time.Duration { return &t.Color },
+	run: func(a *allocator, _ *roundCtx, _ *IterationStats, _ *PassStat) error {
+		for _, cs := range a.classes {
+			a.simplify(cs)
+		}
+		return nil
+	},
+}
+
+var passSelect = &Pass{
+	name:  "select",
+	times: func(t *PhaseTimes) *time.Duration { return &t.Color },
+	run: func(a *allocator, ctx *roundCtx, st *IterationStats, ps *PassStat) error {
+		for ci, cs := range a.classes {
+			ctx.spilled[ci] = a.selectColors(cs)
+			st.Spilled[ci] = len(ctx.spilled[ci])
+			ps.Spilled += len(ctx.spilled[ci])
+			if len(ctx.spilled[ci]) > 0 {
+				ctx.anySpill = true
+			}
+		}
+		return nil
+	},
+}
+
+var passRewrite = &Pass{
+	name:  "rewrite",
+	times: func(t *PhaseTimes) *time.Duration { return &t.Color },
+	when:  func(_ *allocator, ctx *roundCtx) bool { return !ctx.anySpill },
+	run: func(a *allocator, ctx *roundCtx, _ *IterationStats, _ *PassStat) error {
+		if err := a.rewriteColors(); err != nil {
+			return err
+		}
+		if err := a.threadJumps(); err != nil {
+			return err
+		}
+		ctx.done = true
+		return nil
+	},
+}
+
+var passSpillInsert = &Pass{
+	name:  "spill",
+	times: func(t *PhaseTimes) *time.Duration { return &t.Spill },
+	when:  func(_ *allocator, ctx *roundCtx) bool { return ctx.anySpill },
+	run: func(a *allocator, ctx *roundCtx, st *IterationStats, ps *PassStat) error {
+		a.resetSlots()
+		for ci, cs := range a.classes {
+			if len(ctx.spilled[ci]) > 0 {
+				spilled, remat := a.insertSpills(cs, ctx.spilled[ci])
+				st.Remat[ci] += remat
+				ps.Spilled += spilled
+				ps.Remat += remat
+			}
+		}
+		return nil
+	},
+}
+
+// round drives one trip through the pipeline. done is true when select
+// colored every live range and the code has been rewritten to physical
+// colors.
+func (a *allocator) round() (IterationStats, bool, error) {
+	var st IterationStats
+	ctx := &roundCtx{}
+	for _, p := range allocPipeline {
+		if p.when != nil && !p.when(a, ctx) {
+			continue
+		}
+		ps := PassStat{Name: p.name}
+		t0 := time.Now()
+		err := p.run(a, ctx, &st, &ps)
+		ps.Time = time.Since(t0)
+		*p.times(&st.Times) += ps.Time
+		st.Passes = append(st.Passes, ps)
+		if err != nil {
+			return st, false, err
+		}
+		if ctx.stop || ctx.done {
+			break
+		}
+	}
+	return st, ctx.done, nil
+}
+
+// graphStats records the current interference graph size (both classes)
+// into the stat: live-range roots present in the code, and edges.
+func (a *allocator) graphStats(ps *PassStat) {
+	ps.Nodes, ps.Edges = 0, 0
+	for _, cs := range a.classes {
+		if cs == nil || cs.graph == nil {
+			continue
+		}
+		for v := 1; v < len(cs.inCode); v++ {
+			if cs.inCode[v] && cs.find(v) == v {
+				ps.Nodes++
+			}
+		}
+		ps.Edges += cs.graph.NumEdges()
+	}
+}
+
+// FormatStats renders a Result's per-pass, per-iteration statistics as a
+// table: one row per executed pass, with wall time, the interference
+// graph size the pass left behind, and what it changed. cmd/ralloc
+// prints this under -stats; the experiment drivers reuse it when
+// reporting where allocation time goes.
+func FormatStats(res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%4s  %-16s %12s %7s %8s %6s %7s %7s %6s\n",
+		"iter", "pass", "time", "nodes", "edges", "coal", "splits", "spilled", "remat")
+	num := func(n int) string {
+		if n == 0 {
+			return "."
+		}
+		return fmt.Sprintf("%d", n)
+	}
+	for i, it := range res.Iterations {
+		for _, ps := range it.Passes {
+			fmt.Fprintf(&b, "%4d  %-16s %12s %7s %8s %6s %7s %7s %6s\n",
+				i, ps.Name, ps.Time.Round(100*time.Nanosecond),
+				num(ps.Nodes), num(ps.Edges), num(ps.Coalesced),
+				num(ps.Splits), num(ps.Spilled), num(ps.Remat))
+		}
+	}
+	spilled, remat := 0, 0
+	for _, it := range res.Iterations {
+		for _, n := range it.Spilled {
+			spilled += n
+		}
+		for _, n := range it.Remat {
+			remat += n
+		}
+	}
+	fmt.Fprintf(&b, "%d iteration(s), %d range(s) spilled (%d rematerialized), total %v\n",
+		len(res.Iterations), spilled, remat, res.TotalTimes().Total())
+	return b.String()
+}

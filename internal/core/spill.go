@@ -17,17 +17,21 @@ func errUncolored(a *allocator, in *iloc.Instr) error {
 // definition, a reload before every use. A never-killed range is
 // rematerialized: its tag instruction is issued into a fresh register
 // before each use and its definitions are simply deleted, since the value
-// need never live in memory (§3.2, spill code).
-func (a *allocator) insertSpills(cs *classState, spilled []int) {
+// need never live in memory (§3.2, spill code). It returns the number of
+// ranges given spill code and the subset that rematerialized, for the
+// pipeline's stats.
+func (a *allocator) insertSpills(cs *classState, spilled []int) (n, remat int) {
 	c := cs.c
 	isSpilled := make(map[int]bool, len(spilled))
 	for _, v := range spilled {
 		isSpilled[v] = true
-		a.res.SpilledRanges++
+		n++
 		if cs.tags[v].Rematerializable() {
-			a.res.RematSpills++
+			remat++
 		}
 	}
+	a.res.SpilledRanges += n
+	a.res.RematSpills += remat
 
 	for _, b := range a.rt.Blocks {
 		out := make([]*iloc.Instr, 0, len(b.Instrs)+8)
@@ -96,6 +100,7 @@ func (a *allocator) insertSpills(cs *classState, spilled []int) {
 		}
 		b.Instrs = out
 	}
+	return n, remat
 }
 
 func reloadOp(c iloc.Class) iloc.Op {

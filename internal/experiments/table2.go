@@ -22,14 +22,31 @@ type Table2Cell struct {
 	New   time.Duration
 }
 
+// PassTotal aggregates one pipeline pass over a whole allocation: how
+// many times it executed and its total wall time, averaged over runs.
+type PassTotal struct {
+	Pass string
+	Old  time.Duration
+	New  time.Duration
+	// OldRuns and NewRuns count executions of the pass across all
+	// iterations of one allocation.
+	OldRuns int
+	NewRuns int
+}
+
 // Table2Column is one routine's timing column: cells in Table 2's row
 // order (cfa once, then renum/build/costs/color/spill per iteration),
-// plus totals.
+// plus totals and the finer per-pass breakdown from the instrumented
+// pipeline.
 type Table2Column struct {
 	Routine  string
 	Cells    []Table2Cell
 	OldTotal time.Duration
 	NewTotal time.Duration
+	// Passes breaks the totals down by pipeline pass (build vs the two
+	// coalescing rounds, simplify/select vs rewrite, ...), in execution
+	// order. Passes that never ran for either mode are omitted.
+	Passes []PassTotal
 }
 
 // Table2 reproduces the paper's allocation-time table: each routine is
@@ -59,12 +76,24 @@ func Table2(m *target.Machine, runs int) ([]Table2Column, error) {
 	return cols, nil
 }
 
-func averageIterations(k *suite.Kernel, m *target.Machine, mode core.Mode, runs int) ([]core.PhaseTimes, error) {
+// passTally accumulates per-pass time and execution counts keyed by pass
+// name, preserving pipeline order.
+type passTally struct {
+	time map[string]time.Duration
+	runs map[string]int
+}
+
+func newPassTally() *passTally {
+	return &passTally{time: make(map[string]time.Duration), runs: make(map[string]int)}
+}
+
+func averageIterations(k *suite.Kernel, m *target.Machine, mode core.Mode, runs int) ([]core.PhaseTimes, *passTally, error) {
 	var acc []core.PhaseTimes
+	tally := newPassTally()
 	for r := 0; r < runs; r++ {
 		res, err := core.Allocate(k.Routine(), core.Options{Machine: m, Mode: mode})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		for i, it := range res.Iterations {
 			if i >= len(acc) {
@@ -76,6 +105,10 @@ func averageIterations(k *suite.Kernel, m *target.Machine, mode core.Mode, runs 
 			acc[i].Costs += it.Times.Costs
 			acc[i].Color += it.Times.Color
 			acc[i].Spill += it.Times.Spill
+			for _, ps := range it.Passes {
+				tally.time[ps.Name] += ps.Time
+				tally.runs[ps.Name]++
+			}
 		}
 	}
 	for i := range acc {
@@ -86,18 +119,36 @@ func averageIterations(k *suite.Kernel, m *target.Machine, mode core.Mode, runs 
 		acc[i].Color /= time.Duration(runs)
 		acc[i].Spill /= time.Duration(runs)
 	}
-	return acc, nil
+	for name := range tally.time {
+		tally.time[name] /= time.Duration(runs)
+		tally.runs[name] /= runs
+	}
+	return acc, tally, nil
 }
 
 func table2Column(k *suite.Kernel, m *target.Machine, runs int) (Table2Column, error) {
 	col := Table2Column{Routine: k.Name}
-	old, err := averageIterations(k, m, core.ModeChaitin, runs)
+	old, oldPasses, err := averageIterations(k, m, core.ModeChaitin, runs)
 	if err != nil {
 		return col, fmt.Errorf("table2 %s old: %w", k.Name, err)
 	}
-	nw, err := averageIterations(k, m, core.ModeRemat, runs)
+	nw, newPasses, err := averageIterations(k, m, core.ModeRemat, runs)
 	if err != nil {
 		return col, fmt.Errorf("table2 %s new: %w", k.Name, err)
+	}
+	// Per-pass breakdown in pipeline order, keeping only passes that ran
+	// for at least one mode.
+	for _, name := range core.PassNames() {
+		if oldPasses.runs[name] == 0 && newPasses.runs[name] == 0 {
+			continue
+		}
+		col.Passes = append(col.Passes, PassTotal{
+			Pass:    name,
+			Old:     oldPasses.time[name],
+			New:     newPasses.time[name],
+			OldRuns: oldPasses.runs[name],
+			NewRuns: newPasses.runs[name],
+		})
 	}
 
 	iters := len(old)
@@ -176,5 +227,43 @@ func FormatTable2(cols []Table2Column) string {
 		b.WriteString(fmt.Sprintf(" | %13s %13s", ms(c.OldTotal), ms(c.NewTotal)))
 	}
 	b.WriteString("\n")
+
+	// The finer per-pass breakdown the instrumented pipeline records:
+	// where the coarse rows above actually spend their time.
+	b.WriteString("\nPer-pass totals (ms)\n")
+	b.WriteString(fmt.Sprintf("%-16s", "Pass"))
+	for _, c := range cols {
+		b.WriteString(fmt.Sprintf(" | %9s:Old %9[1]s:New", c.Routine))
+	}
+	b.WriteString("\n")
+	// Union of pass names across columns, in pipeline order.
+	var names []string
+	seen := make(map[string]bool)
+	for _, name := range core.PassNames() {
+		for _, c := range cols {
+			for _, p := range c.Passes {
+				if p.Pass == name && !seen[name] {
+					seen[name] = true
+					names = append(names, name)
+				}
+			}
+		}
+	}
+	for _, name := range names {
+		b.WriteString(fmt.Sprintf("%-16s", name))
+		for _, c := range cols {
+			var cell string
+			for _, p := range c.Passes {
+				if p.Pass == name {
+					cell = fmt.Sprintf(" | %13s %13s", ms(p.Old), ms(p.New))
+				}
+			}
+			if cell == "" {
+				cell = fmt.Sprintf(" | %13s %13s", "", "")
+			}
+			b.WriteString(cell)
+		}
+		b.WriteString("\n")
+	}
 	return b.String()
 }

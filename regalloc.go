@@ -50,10 +50,15 @@ type (
 type Machine = target.Machine
 
 // Options configures Allocate; Result is a finished allocation.
+// IterationStats, PassStat and PhaseTimes expose the instrumented pass
+// pipeline's per-iteration records (Result.Iterations).
 type (
-	Options = core.Options
-	Result  = core.Result
-	Mode    = core.Mode
+	Options        = core.Options
+	Result         = core.Result
+	Mode           = core.Mode
+	IterationStats = core.IterationStats
+	PassStat       = core.PassStat
+	PhaseTimes     = core.PhaseTimes
 )
 
 // Allocator modes: the paper's baseline and its contribution.
@@ -113,6 +118,14 @@ func MachineWithRegs(n int) *Machine { return target.WithRegs(n) }
 // input is not modified; Result.Routine holds the allocated clone with
 // spill code inserted and register numbers equal to physical colors.
 func Allocate(rt *Routine, opts Options) (*Result, error) { return core.Allocate(rt, opts) }
+
+// AllocPassNames lists the allocator pipeline's passes in execution
+// order (conditional passes included).
+func AllocPassNames() []string { return core.PassNames() }
+
+// FormatAllocStats renders a Result's per-pass, per-iteration pipeline
+// statistics (what cmd/ralloc prints under -stats).
+func FormatAllocStats(res *Result) string { return core.FormatStats(res) }
 
 // NewEnv builds an execution environment for a routine (frame + static
 // data). Use Env.Alloc/SetInt/SetFloat to stage inputs, then Env.Run.
