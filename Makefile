@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test bench
+.PHONY: check fmt vet build test race bench
 
-check: fmt vet build test
+check: fmt vet build test race
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -22,5 +22,14 @@ build:
 test:
 	$(GO) test ./...
 
+# The batch driver allocates routines concurrently; the race detector
+# guards the no-shared-mutable-state contract of core.Allocate.
+race:
+	$(GO) test -race ./...
+
+# bench runs the go-test benchmark suite, then the batch-driver
+# benchmark, which snapshots routines/sec, parallel speedup and cache
+# hit rate into BENCH_driver.json.
 bench:
 	$(GO) test -bench . -benchtime 1x -run ^$$ .
+	$(GO) run ./cmd/driverbench -out BENCH_driver.json

@@ -21,9 +21,11 @@ package regalloc
 // `go test -bench .` shows both compile time and code quality.
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/driver"
 	"repro/internal/experiments"
 	"repro/internal/suite"
 	"repro/internal/target"
@@ -194,6 +196,50 @@ func BenchmarkAblation(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(total), "suitecycles")
+		})
+	}
+}
+
+// BenchmarkDriverSuite allocates the whole suite through the batch
+// driver at -j 1 and -j NumCPU, cold and against a warm result cache —
+// the throughput surface BENCH_driver.json snapshots via `make bench`.
+func BenchmarkDriverSuite(b *testing.B) {
+	opts := core.Options{Machine: target.WithRegs(6), Mode: core.ModeRemat}
+	var units []driver.Unit
+	for _, k := range suite.All() {
+		units = append(units, driver.Unit{Name: k.Name, Routine: k.Routine()})
+	}
+	for _, cfg := range []struct {
+		name  string
+		jobs  int
+		cache bool
+	}{
+		{"j1", 1, false},
+		{"jN", runtime.NumCPU(), false},
+		{"jN-warm-cache", runtime.NumCPU(), true},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var cache *driver.Cache
+			if cfg.cache {
+				cache = driver.NewCache(0)
+				eng := driver.New(driver.Config{Options: opts, Workers: cfg.jobs, Cache: cache})
+				if err := eng.Run(units).FirstErr(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			var st driver.Stats
+			for i := 0; i < b.N; i++ {
+				batch := driver.New(driver.Config{Options: opts, Workers: cfg.jobs, Cache: cache}).Run(units)
+				if err := batch.FirstErr(); err != nil {
+					b.Fatal(err)
+				}
+				st = batch.Stats
+			}
+			b.ReportMetric(float64(st.Routines)/st.Wall.Seconds(), "routines/sec")
+			if cfg.cache {
+				b.ReportMetric(100*float64(st.CacheHits)/float64(st.Routines), "hit%")
+			}
 		})
 	}
 }

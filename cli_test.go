@@ -48,6 +48,19 @@ func runCmd(t *testing.T, bin string, stdin string, args ...string) (string, str
 	return outB.String(), errB.String()
 }
 
+// runCmdFail runs the binary expecting a nonzero exit; it returns
+// stderr.
+func runCmdFail(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var outB, errB strings.Builder
+	cmd.Stdout, cmd.Stderr = &outB, &errB
+	if err := cmd.Run(); err == nil {
+		t.Fatalf("%s %v: expected failure, got success\nstdout: %s", bin, args, outB.String())
+	}
+	return errB.String()
+}
+
 func TestCLIRallocAllocatesFile(t *testing.T) {
 	bin := buildCmd(t, "ralloc")
 	out, stderr := runCmd(t, bin, "", "-mode", "remat", "-regs", "4", "-stats", "testdata/sumabs.iloc")
@@ -104,6 +117,54 @@ func TestCLIRallocSplitSchemes(t *testing.T) {
 		if !strings.Contains(out, "routine fig1") {
 			t.Fatalf("scheme %s: no output", s)
 		}
+	}
+}
+
+// Several .iloc files form a module: allocated concurrently by the
+// batch driver, printed in input order. Before the driver existed,
+// every positional argument after the first was silently ignored.
+func TestCLIRallocMultiFile(t *testing.T) {
+	bin := buildCmd(t, "ralloc")
+	for _, jobs := range []string{"1", "4"} {
+		out, _ := runCmd(t, bin, "", "-j", jobs, "-regs", "6",
+			"testdata/sumabs.iloc", "testdata/fig1.iloc")
+		sum := strings.Index(out, "routine sumabs")
+		fig := strings.Index(out, "routine fig1")
+		if sum < 0 || fig < 0 {
+			t.Fatalf("-j %s: missing a routine in output:\n%s", jobs, out)
+		}
+		if sum > fig {
+			t.Fatalf("-j %s: output not in input order:\n%s", jobs, out)
+		}
+	}
+	// Output must be byte-identical whatever the parallelism.
+	seq, _ := runCmd(t, bin, "", "-j", "1", "-regs", "6", "testdata/sumabs.iloc", "testdata/fig1.iloc")
+	par, _ := runCmd(t, bin, "", "-j", "4", "-regs", "6", "testdata/sumabs.iloc", "testdata/fig1.iloc")
+	if seq != par {
+		t.Fatalf("parallel output differs from sequential:\n--- -j1 ---\n%s--- -j4 ---\n%s", seq, par)
+	}
+}
+
+// Duplicate inputs hit the content-addressed cache; -stats reports it.
+func TestCLIRallocCache(t *testing.T) {
+	bin := buildCmd(t, "ralloc")
+	out, stderr := runCmd(t, bin, "", "-cache", "-stats", "-regs", "6",
+		"testdata/sumabs.iloc", "testdata/sumabs.iloc")
+	if strings.Count(out, "routine sumabs") != 2 {
+		t.Fatalf("both copies should be printed:\n%s", out)
+	}
+	if !strings.Contains(stderr, "cache:") || !strings.Contains(stderr, "1 hits") {
+		t.Fatalf("cache stats missing a hit:\n%s", stderr)
+	}
+}
+
+// A bad extra argument must be an error, not silently dropped (the old
+// CLI read only flag.Arg(0)).
+func TestCLIRallocBadExtraArg(t *testing.T) {
+	bin := buildCmd(t, "ralloc")
+	stderr := runCmdFail(t, bin, "testdata/sumabs.iloc", "no-such-file.iloc")
+	if !strings.Contains(stderr, "no-such-file.iloc") {
+		t.Fatalf("error does not name the bad argument:\n%s", stderr)
 	}
 }
 

@@ -1,0 +1,169 @@
+// Command driverbench seeds the performance trajectory of the batch
+// driver: it allocates the full benchmark suite through internal/driver
+// at -j 1 and -j NumCPU, then once more against a warm result cache, and
+// writes the measurements as JSON (BENCH_driver.json in CI; see `make
+// bench`).
+//
+//	driverbench [-out BENCH_driver.json] [-reps 3] [-mode remat] [-regs 6]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/suite"
+	"repro/internal/target"
+)
+
+// runMeasure describes one measured configuration.
+type runMeasure struct {
+	Jobs           int     `json:"jobs"`
+	WallMs         float64 `json:"wall_ms"`
+	CPUMs          float64 `json:"cpu_ms"`
+	RoutinesPerSec float64 `json:"routines_per_sec"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+}
+
+type report struct {
+	GeneratedUnix int64  `json:"generated_unix"`
+	GoVersion     string `json:"go_version"`
+	NumCPU        int    `json:"num_cpu"`
+	Mode          string `json:"mode"`
+	Regs          int    `json:"regs"`
+	Routines      int    `json:"routines"`
+	Reps          int    `json:"reps"`
+
+	Sequential runMeasure `json:"sequential"`
+	Parallel   runMeasure `json:"parallel"`
+	WarmCache  runMeasure `json:"warm_cache"`
+
+	// Speedup is parallel over sequential wall time; CacheSpeedup warm
+	// over cold parallel. On a single-CPU host Speedup hovers near 1.
+	Speedup      float64 `json:"speedup"`
+	CacheSpeedup float64 `json:"cache_speedup"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_driver.json", "output file (- for stdout)")
+	reps := flag.Int("reps", 3, "repetitions per configuration (best wall time wins)")
+	mode := flag.String("mode", "remat", "allocator mode: remat or chaitin")
+	regs := flag.Int("regs", 6, "registers per class (6 = the calibrated pressure point)")
+	flag.Parse()
+
+	opts := core.Options{Machine: target.WithRegs(*regs)}
+	switch *mode {
+	case "remat":
+		opts.Mode = core.ModeRemat
+	case "chaitin":
+		opts.Mode = core.ModeChaitin
+	default:
+		fail(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	// The module: every suite kernel and every callee, parsed once.
+	var units []driver.Unit
+	for _, k := range suite.All() {
+		units = append(units, driver.Unit{Name: k.Name, Routine: k.Routine()})
+		for i, crt := range k.CalleeRoutines() {
+			units = append(units, driver.Unit{Name: fmt.Sprintf("%s/callee%d", k.Name, i), Routine: crt})
+		}
+	}
+
+	rep := report{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		NumCPU:        runtime.NumCPU(),
+		Mode:          *mode,
+		Regs:          *regs,
+		Routines:      len(units),
+		Reps:          *reps,
+	}
+
+	// Cold, sequential and parallel: a fresh engine (no cache) per rep,
+	// best wall time of the repetitions.
+	rep.Sequential = measureCold(units, opts, 1, *reps)
+	rep.Parallel = measureCold(units, opts, runtime.NumCPU(), *reps)
+
+	// Warm: fill a cache once, then measure the fully cached batch.
+	cache := driver.NewCache(0)
+	warmEng := driver.New(driver.Config{Options: opts, Workers: runtime.NumCPU(), Cache: cache})
+	if err := warmEng.Run(units).FirstErr(); err != nil {
+		fail(err)
+	}
+	best := driver.Stats{}
+	for r := 0; r < *reps; r++ {
+		b := warmEng.Run(units)
+		if err := b.FirstErr(); err != nil {
+			fail(err)
+		}
+		if best.Wall == 0 || b.Stats.Wall < best.Wall {
+			best = b.Stats
+		}
+	}
+	rep.WarmCache = toMeasure(best, runtime.NumCPU())
+	rep.WarmCache.CacheHitRate = float64(best.CacheHits) / float64(best.CacheHits+best.CacheMisses)
+
+	if rep.Sequential.WallMs > 0 {
+		rep.Speedup = rep.Sequential.WallMs / rep.Parallel.WallMs
+	}
+	if rep.WarmCache.WallMs > 0 {
+		rep.CacheSpeedup = rep.Parallel.WallMs / rep.WarmCache.WallMs
+	}
+
+	text, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	text = append(text, '\n')
+	if *out == "-" {
+		os.Stdout.Write(text)
+		return
+	}
+	if err := os.WriteFile(*out, text, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("driverbench: %d routines, -j1 %.1fms, -j%d %.1fms (%.2fx), warm cache %.1fms (%.0f%% hits) -> %s\n",
+		rep.Routines, rep.Sequential.WallMs, rep.Parallel.Jobs, rep.Parallel.WallMs,
+		rep.Speedup, rep.WarmCache.WallMs, 100*rep.WarmCache.CacheHitRate, *out)
+}
+
+// measureCold runs the batch with a fresh cacheless engine reps times
+// and keeps the best wall time.
+func measureCold(units []driver.Unit, opts core.Options, jobs, reps int) runMeasure {
+	best := driver.Stats{}
+	for r := 0; r < reps; r++ {
+		b := driver.New(driver.Config{Options: opts, Workers: jobs}).Run(units)
+		if err := b.FirstErr(); err != nil {
+			fail(err)
+		}
+		if best.Wall == 0 || b.Stats.Wall < best.Wall {
+			best = b.Stats
+		}
+	}
+	return toMeasure(best, jobs)
+}
+
+func toMeasure(st driver.Stats, jobs int) runMeasure {
+	wallMs := float64(st.Wall.Microseconds()) / 1000
+	rps := 0.0
+	if st.Wall > 0 {
+		rps = float64(st.Routines) / st.Wall.Seconds()
+	}
+	return runMeasure{
+		Jobs:           jobs,
+		WallMs:         wallMs,
+		CPUMs:          float64(st.CPU.Microseconds()) / 1000,
+		RoutinesPerSec: rps,
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "driverbench:", err)
+	os.Exit(1)
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/driver"
 	"repro/internal/experiments"
 	"repro/internal/target"
 )
@@ -28,6 +29,7 @@ func main() {
 	all := flag.Bool("all", false, "regenerate everything")
 	regs := flag.Int("regs", 0, "registers per class for Table 1 / splitting (0 = calibrated default)")
 	runs := flag.Int("runs", 10, "timing repetitions for Table 2")
+	jobs := flag.Int("j", 0, "worker pool size for the batch driver's allocations (0 = number of CPUs)")
 	flag.Parse()
 
 	var m *target.Machine
@@ -47,7 +49,7 @@ func main() {
 
 	if *all || *tab == 1 {
 		run("table1", func() error {
-			rows, err := experiments.Table1(experiments.Table1Config{Standard: m})
+			rows, err := experiments.Table1(experiments.Table1Config{Standard: m, Jobs: *jobs})
 			if err != nil {
 				return err
 			}
@@ -57,7 +59,7 @@ func main() {
 	}
 	if *all || *tab == 2 {
 		run("table2", func() error {
-			cols, err := experiments.Table2(m, *runs)
+			cols, err := experiments.Table2Jobs(m, *runs, *jobs)
 			if err != nil {
 				return err
 			}
@@ -119,9 +121,14 @@ func main() {
 		run("sweep", func() error {
 			fmt.Println("Aggregate spill cycles across the suite, by register count")
 			fmt.Printf("%6s %12s %12s %8s\n", "regs", "optimistic", "remat", "gain")
+			// One cache across the sweep: the huge-machine baseline
+			// allocations are identical at every register count, so runs
+			// after the first get them for free.
+			cache := driver.NewCache(0)
 			for _, n := range []int{6, 8, 10, 12, 14, 16} {
 				rows, err := experiments.Table1(experiments.Table1Config{
 					Standard: target.WithRegs(n), IncludeUnchanged: true,
+					Jobs: *jobs, Cache: cache,
 				})
 				if err != nil {
 					return err

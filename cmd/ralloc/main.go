@@ -1,11 +1,18 @@
-// Command ralloc allocates the registers of an ILOC routine and prints
-// the result.
+// Command ralloc allocates the registers of one or more ILOC routines
+// and prints the result.
 //
-//	ralloc [-mode remat|chaitin] [-regs N] [-split scheme] [-c] [-stats] file.iloc
+//	ralloc [-mode remat|chaitin] [-regs N] [-split scheme] [-j N]
+//	       [-cache] [-c] [-stats] [file.iloc ...]
 //
-// With no file it reads standard input. -c emits the instrumented C
-// translation (Figure 4 style) instead of ILOC; -stats prints per-phase
-// times and spill counts.
+// With no file it reads standard input; "-" names standard input
+// explicitly. Several files form a module: they are allocated
+// concurrently by the batch driver (-j bounds the worker pool,
+// defaulting to the number of CPUs) and printed in input order, so the
+// output is byte-identical whatever the parallelism. -cache enables the
+// content-addressed result cache, making duplicate inputs free. -c
+// emits the instrumented C translation (Figure 4 style) instead of
+// ILOC; -stats prints per-phase times and spill counts per routine plus
+// the driver's batch summary.
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ctrans"
+	"repro/internal/driver"
 	"repro/internal/iloc"
 	"repro/internal/target"
 )
@@ -24,18 +32,11 @@ func main() {
 	mode := flag.String("mode", "remat", "allocator mode: remat (the paper) or chaitin (baseline)")
 	regs := flag.Int("regs", 16, "registers per class (16 = the paper's standard machine)")
 	split := flag.String("split", "none", "splitting scheme: none, all-loops, outer-loops, inactive-loops, all-phis")
+	jobs := flag.Int("j", 0, "worker pool size for multi-file batches (0 = number of CPUs)")
+	cache := flag.Bool("cache", false, "reuse allocations of identical routines (content-addressed cache)")
 	emitC := flag.Bool("c", false, "emit instrumented C instead of ILOC")
 	stats := flag.Bool("stats", false, "print allocation statistics")
 	flag.Parse()
-
-	src, err := readInput(flag.Arg(0))
-	if err != nil {
-		fail(err)
-	}
-	rt, err := iloc.Parse(string(src))
-	if err != nil {
-		fail(err)
-	}
 
 	opts := core.Options{Machine: target.WithRegs(*regs)}
 	switch *mode {
@@ -60,27 +61,68 @@ func main() {
 		fail(fmt.Errorf("unknown split scheme %q", *split))
 	}
 
-	res, err := core.Allocate(rt, opts)
-	if err != nil {
-		fail(err)
+	// Every positional argument is an input file; none means stdin.
+	paths := flag.Args()
+	if len(paths) == 0 {
+		paths = []string{"-"}
 	}
-	if *emitC {
-		c, err := ctrans.Translate(res.Routine)
+	units := make([]driver.Unit, len(paths))
+	for i, path := range paths {
+		src, err := readInput(path)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Print(c)
-	} else {
-		fmt.Print(iloc.Print(res.Routine))
+		rt, err := iloc.Parse(string(src))
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", displayName(path), err))
+		}
+		units[i] = driver.Unit{Name: displayName(path), Routine: rt}
+	}
+
+	cfg := driver.Config{Options: opts, Workers: *jobs}
+	if *cache {
+		cfg.Cache = driver.NewCache(0)
+	}
+	batch := driver.New(cfg).Run(units)
+	if err := batch.FirstErr(); err != nil {
+		fail(err)
+	}
+
+	for _, r := range batch.Results {
+		res := r.Result
+		if *emitC {
+			c, err := ctrans.Translate(res.Routine)
+			if err != nil {
+				fail(fmt.Errorf("%s: %w", r.Name, err))
+			}
+			fmt.Print(c)
+		} else {
+			fmt.Print(iloc.Print(res.Routine))
+		}
+		if *stats {
+			fmt.Fprintf(os.Stderr, "%s: mode=%v machine=%s iterations=%d spilled=%d (remat %d) frame=%d words\n",
+				r.Name, res.Mode, res.Machine.Name, len(res.Iterations), res.SpilledRanges, res.RematSpills, res.Routine.FrameWords)
+			t := res.TotalTimes()
+			fmt.Fprintf(os.Stderr, "phases: cfa=%v renum=%v build=%v costs=%v color=%v spill=%v total=%v\n",
+				t.CFA, t.Renumber, t.Build, t.Costs, t.Color, t.Spill, t.Total())
+			fmt.Fprint(os.Stderr, core.FormatStats(res))
+		}
 	}
 	if *stats {
-		fmt.Fprintf(os.Stderr, "mode=%v machine=%s iterations=%d spilled=%d (remat %d) frame=%d words\n",
-			res.Mode, res.Machine.Name, len(res.Iterations), res.SpilledRanges, res.RematSpills, res.Routine.FrameWords)
-		t := res.TotalTimes()
-		fmt.Fprintf(os.Stderr, "phases: cfa=%v renum=%v build=%v costs=%v color=%v spill=%v total=%v\n",
-			t.CFA, t.Renumber, t.Build, t.Costs, t.Color, t.Spill, t.Total())
-		fmt.Fprint(os.Stderr, core.FormatStats(res))
+		fmt.Fprint(os.Stderr, batch.Stats.Format())
+		if cfg.Cache != nil {
+			cs := cfg.Cache.Stats()
+			fmt.Fprintf(os.Stderr, "cache: %d entries, %d hits, %d misses, %d evictions (%.0f%% hit rate)\n",
+				cs.Entries, cs.Hits, cs.Misses, cs.Evictions, 100*cs.HitRate())
+		}
 	}
+}
+
+func displayName(path string) string {
+	if path == "-" {
+		return "<stdin>"
+	}
+	return path
 }
 
 func readInput(path string) ([]byte, error) {

@@ -81,6 +81,13 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Canonical returns the options as Allocate uses them, with defaults
+// applied (nil Machine becomes the standard machine, zero MaxIterations
+// the default bound). Two Options values with equal Canonical semantic
+// fields configure identical allocations — the property the driver's
+// content-addressed result cache keys on.
+func (o Options) Canonical() Options { return o.withDefaults() }
+
 // PhaseTimes records wall-clock time per allocator phase for one
 // iteration, mirroring the rows of Table 2.
 type PhaseTimes struct {
@@ -180,6 +187,13 @@ type allocator struct {
 // Allocate maps the routine's virtual registers onto the machine. The
 // input routine is not modified; the returned Result holds an allocated
 // clone.
+//
+// Allocate is safe for concurrent use, including calls sharing the same
+// input routine or Machine: the input is only read (verified and
+// cloned), the Machine is never written, all working state lives in the
+// per-call allocator, and the package-level pass pipeline is immutable
+// after init. The driver package relies on this to allocate whole
+// modules in parallel.
 func Allocate(rt *iloc.Routine, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := opts.Machine.Validate(); err != nil {

@@ -1,0 +1,161 @@
+package driver
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/iloc"
+)
+
+// The result cache is content-addressed: a finished allocation is stored
+// under the hash of the routine's canonical printed form plus a
+// canonicalized rendering of the options that produced it. Two parses of
+// the same source, or two Options values that differ only in
+// presentation (a machine's Name, an explicit MaxIterations equal to the
+// default), therefore share one entry, while anything that can change
+// the allocator's output — register counts, mode, splitting scheme,
+// spill metric, the ablation switches — separates keys.
+
+// Key identifies one (routine, options) allocation in the cache.
+type Key string
+
+// KeyFor computes the content address of allocating rt under opts. The
+// routine contributes its canonical printed form (iloc.Print output
+// round-trips, so formatting of the original source is irrelevant); the
+// options contribute their semantic fields after defaulting, with the
+// machine identified by its register file and cost model rather than its
+// display name.
+func KeyFor(rt *iloc.Routine, opts core.Options) Key {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s", optionsKey(opts), iloc.Print(rt))
+	return Key(hex.EncodeToString(h.Sum(nil)))
+}
+
+// optionsKey renders the semantic content of opts deterministically.
+func optionsKey(opts core.Options) string {
+	o := opts.Canonical()
+	m := o.Machine
+	return fmt.Sprintf("mode=%d regs=%d,%d callersave=%d mem=%d other=%d nocoalesce=%t nobias=%t nolookahead=%t split=%d metric=%d maxiter=%d",
+		o.Mode, m.Regs[0], m.Regs[1], m.CallerSave, m.MemCycles, m.OtherCycles,
+		o.DisableConservativeCoalescing, o.DisableBiasedColoring, o.DisableLookahead,
+		o.Split, o.Metric, o.MaxIterations)
+}
+
+// CacheStats is a point-in-time snapshot of a cache's counters.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Entries   int
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Cache is a bounded, concurrency-safe, content-addressed store of
+// finished allocations with LRU eviction. Stored results are snapshots:
+// Get returns a fresh copy whose Routine the caller may mutate freely.
+type Cache struct {
+	mu        sync.Mutex
+	capacity  int        // max entries; 0 means unbounded
+	order     *list.List // front = most recently used; values are *cacheEntry
+	entries   map[Key]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key Key
+	res *core.Result
+}
+
+// NewCache returns a cache holding at most capacity entries (0 =
+// unbounded).
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[Key]*list.Element),
+	}
+}
+
+// Get looks the key up, counting a hit or miss. The returned Result is
+// an independent snapshot (cloned routine, copied iteration records).
+func (c *Cache) Get(key Key) (*core.Result, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return snapshotResult(el.Value.(*cacheEntry).res), true
+}
+
+// Put stores an independent snapshot of res under key, evicting the
+// least recently used entry if the cache is full.
+func (c *Cache) Put(key Key, res *core.Result) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = snapshotResult(res)
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: snapshotResult(res)})
+	if c.capacity > 0 && c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// Len returns the number of cached allocations.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: c.order.Len()}
+}
+
+// snapshotResult copies a Result deeply enough that the caller and the
+// cache cannot observe each other's mutations: the routine is cloned and
+// the iteration records copied (their contents are never mutated after
+// Allocate returns).
+func snapshotResult(res *core.Result) *core.Result {
+	c := *res
+	c.Routine = res.Routine.Clone()
+	c.Iterations = append([]core.IterationStats(nil), res.Iterations...)
+	return &c
+}

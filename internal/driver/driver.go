@@ -1,0 +1,249 @@
+// Package driver is the module-level batch-allocation engine: it takes a
+// set of parsed routines (a "module"), shards them across a bounded
+// worker pool, allocates each with core.Allocate, and returns the
+// results in input order regardless of completion order. Register
+// allocation is embarrassingly parallel — core.Allocate holds no
+// cross-routine state and is safe for concurrent use — so the engine's
+// job is scheduling, determinism, and bookkeeping, not synchronization
+// of the allocator itself.
+//
+// An optional content-addressed result cache (see cache.go) makes
+// repeated allocation of identical kernels free: results are keyed by
+// the hash of the routine's canonical text plus the canonicalized
+// options, so iterated experiments and suites with duplicated kernels
+// pay for each distinct allocation once.
+package driver
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/iloc"
+)
+
+// Unit is one routine of a batch. Options, when non-nil, override the
+// engine's default options for this unit (the experiment drivers mix
+// machines and modes within one batch).
+type Unit struct {
+	// Name labels the unit in results and error messages (a file name, a
+	// kernel name); it does not contribute to the cache key.
+	Name    string
+	Routine *iloc.Routine
+	Options *core.Options
+}
+
+// Config configures an Engine.
+type Config struct {
+	// Options is the default allocation configuration for units that do
+	// not carry their own.
+	Options core.Options
+	// Workers bounds the worker pool; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Cache, when non-nil, is consulted before and filled after each
+	// allocation. Sharing one cache across engines and runs is safe.
+	Cache *Cache
+}
+
+// UnitResult is the outcome of one unit. Exactly one of Result and Err
+// is set.
+type UnitResult struct {
+	Name     string
+	Result   *core.Result
+	Err      error
+	CacheHit bool
+	// Worker is the index of the pool worker that handled the unit, and
+	// Wall how long it spent on it (lookup + allocation).
+	Worker int
+	Wall   time.Duration
+}
+
+// WorkerStats describes one pool worker's share of a batch.
+type WorkerStats struct {
+	Units int
+	Busy  time.Duration
+}
+
+// Utilization returns the fraction of the batch's wall time the worker
+// spent allocating.
+func (w WorkerStats) Utilization(wall time.Duration) float64 {
+	if wall <= 0 {
+		return 0
+	}
+	return float64(w.Busy) / float64(wall)
+}
+
+// Stats summarizes one batch run.
+type Stats struct {
+	// Routines is the number of units processed and Failed how many
+	// returned an error.
+	Routines int
+	Failed   int
+	// CacheHits and CacheMisses count this run's lookups (the cache's own
+	// counters aggregate across runs and engines).
+	CacheHits   int
+	CacheMisses int
+	// Wall is the batch's elapsed time; CPU sums the per-unit times
+	// across workers (CPU > Wall means parallelism paid off).
+	Wall time.Duration
+	CPU  time.Duration
+	// Workers is the pool size used; PerWorker has one entry per worker.
+	Workers   int
+	PerWorker []WorkerStats
+}
+
+// Speedup estimates the parallel speedup achieved: total work time over
+// elapsed time.
+func (s Stats) Speedup() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.CPU) / float64(s.Wall)
+}
+
+// Format renders the stats as the one-paragraph summary cmd/ralloc
+// prints under -stats.
+func (s Stats) Format() string {
+	out := fmt.Sprintf("driver: %d routine(s), %d failed, %d worker(s), wall %v, cpu %v (%.2fx)",
+		s.Routines, s.Failed, s.Workers, s.Wall.Round(time.Microsecond), s.CPU.Round(time.Microsecond), s.Speedup())
+	if s.CacheHits+s.CacheMisses > 0 {
+		out += fmt.Sprintf("\ndriver: cache %d hit(s), %d miss(es)", s.CacheHits, s.CacheMisses)
+	}
+	for i, w := range s.PerWorker {
+		out += fmt.Sprintf("\ndriver: worker %d: %d unit(s), busy %v (%.0f%%)",
+			i, w.Units, w.Busy.Round(time.Microsecond), 100*w.Utilization(s.Wall))
+	}
+	return out + "\n"
+}
+
+// Batch is the outcome of Engine.Run: one UnitResult per input unit, in
+// input order.
+type Batch struct {
+	Results []UnitResult
+	Stats   Stats
+}
+
+// FirstErr returns the first failed unit's error (in input order)
+// wrapped with its name, or nil.
+func (b *Batch) FirstErr() error {
+	for _, r := range b.Results {
+		if r.Err != nil {
+			return fmt.Errorf("%s: %w", r.Name, r.Err)
+		}
+	}
+	return nil
+}
+
+// Engine is a reusable batch allocator. The zero value is not useful;
+// construct with New. An Engine is safe for sequential reuse; each Run
+// builds its own pool.
+type Engine struct {
+	cfg Config
+}
+
+// New returns an engine with the given configuration.
+func New(cfg Config) *Engine {
+	return &Engine{cfg: cfg}
+}
+
+// Cache returns the engine's cache (nil when caching is off).
+func (e *Engine) Cache() *Cache { return e.cfg.Cache }
+
+// Run allocates every unit of the batch. Results are in input order; a
+// unit's failure is recorded in its UnitResult and does not stop the
+// others. Determinism: core.Allocate is deterministic, so the set of
+// results is independent of the worker count and completion order —
+// only the Stats timing fields vary between runs.
+func (e *Engine) Run(units []Unit) *Batch {
+	workers := e.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(units) {
+		workers = len(units)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	b := &Batch{
+		Results: make([]UnitResult, len(units)),
+		Stats:   Stats{Routines: len(units), Workers: workers, PerWorker: make([]WorkerStats, workers)},
+	}
+	start := time.Now()
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := range jobs {
+				t0 := time.Now()
+				res, hit, err := e.allocate(units[i])
+				b.Results[i] = UnitResult{
+					Name:     units[i].Name,
+					Result:   res,
+					Err:      err,
+					CacheHit: hit,
+					Worker:   worker,
+					Wall:     time.Since(t0),
+				}
+			}
+		}(w)
+	}
+	for i := range units {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	b.Stats.Wall = time.Since(start)
+
+	for _, r := range b.Results {
+		b.Stats.CPU += r.Wall
+		b.Stats.PerWorker[r.Worker].Units++
+		b.Stats.PerWorker[r.Worker].Busy += r.Wall
+		if r.Err != nil {
+			b.Stats.Failed++
+		} else if e.cfg.Cache != nil {
+			if r.CacheHit {
+				b.Stats.CacheHits++
+			} else {
+				b.Stats.CacheMisses++
+			}
+		}
+	}
+	return b
+}
+
+// allocate handles one unit: cache lookup, allocation, cache fill.
+func (e *Engine) allocate(u Unit) (*core.Result, bool, error) {
+	opts := e.cfg.Options
+	if u.Options != nil {
+		opts = *u.Options
+	}
+	if u.Routine == nil {
+		return nil, false, fmt.Errorf("driver: unit has no routine")
+	}
+	if e.cfg.Cache == nil {
+		res, err := core.Allocate(u.Routine, opts)
+		return res, false, err
+	}
+	key := KeyFor(u.Routine, opts)
+	if res, ok := e.cfg.Cache.Get(key); ok {
+		return res, true, nil
+	}
+	res, err := core.Allocate(u.Routine, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	e.cfg.Cache.Put(key, res)
+	return res, false, nil
+}
+
+// Allocate runs one batch with a throwaway engine — the convenience
+// entry point for callers that do not reuse a cache.
+func Allocate(units []Unit, cfg Config) *Batch {
+	return New(cfg).Run(units)
+}

@@ -5,9 +5,30 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/iloc"
+	"repro/internal/interp"
 	"repro/internal/suite"
 	"repro/internal/target"
 )
+
+// runMode allocates the kernel and its callees under one configuration
+// and executes the allocated program.
+func runMode(k *suite.Kernel, m *target.Machine, mode core.Mode) (*interp.Outcome, error) {
+	opts := core.Options{Machine: m, Mode: mode}
+	res, err := core.Allocate(k.Routine(), opts)
+	if err != nil {
+		return nil, err
+	}
+	var callees []*iloc.Routine
+	for _, callee := range k.CalleeRoutines() {
+		cres, err := core.Allocate(callee, opts)
+		if err != nil {
+			return nil, err
+		}
+		callees = append(callees, cres.Routine)
+	}
+	return k.ExecuteWith(res.Routine, callees)
+}
 
 // SplittingRow compares §6's splitting schemes against the plain
 // rematerializing allocator on one kernel: spill-code cycles under each

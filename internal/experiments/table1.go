@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/driver"
 	"repro/internal/iloc"
 	"repro/internal/interp"
 	"repro/internal/suite"
@@ -65,9 +66,31 @@ type Table1Config struct {
 	// IncludeUnchanged keeps rows where the two allocators tie (the
 	// paper shows only routines with a difference).
 	IncludeUnchanged bool
+	// Jobs bounds the batch driver's worker pool for the experiment's
+	// allocations (0 = number of CPUs). Rows are deterministic whatever
+	// the parallelism.
+	Jobs int
+	// Cache, when non-nil, is shared with the batch driver; the register
+	// sweep reuses the baseline allocations of earlier runs through it.
+	Cache *driver.Cache
 }
 
-// Table1 reproduces the paper's Table 1 over the synthetic suite.
+// table1Alloc locates one measurement configuration's allocations in
+// the batch: the main routine's unit index and its callees'.
+type table1Alloc struct {
+	main    int
+	callees []int
+}
+
+// Table 1 measures three configurations per kernel: the huge-machine
+// zero-spill baseline, Chaitin's allocator, and the rematerializing
+// allocator on the standard machine.
+const table1Configs = 3
+
+// Table1 reproduces the paper's Table 1 over the synthetic suite. All
+// allocations — every kernel, callee and configuration — run as one
+// batch through the driver; the interpreter measurements then execute
+// in suite order.
 func Table1(cfg Table1Config) ([]Table1Row, error) {
 	if cfg.Standard == nil {
 		cfg.Standard = target.WithRegs(6)
@@ -75,9 +98,41 @@ func Table1(cfg Table1Config) ([]Table1Row, error) {
 	if cfg.Baseline == nil {
 		cfg.Baseline = target.Huge()
 	}
+	machines := [table1Configs]*target.Machine{cfg.Baseline, cfg.Standard, cfg.Standard}
+	modes := [table1Configs]core.Mode{core.ModeRemat, core.ModeChaitin, core.ModeRemat}
+
+	kernels := suite.All()
+	var units []driver.Unit
+	plan := make([][table1Configs]table1Alloc, len(kernels))
+	for ki, k := range kernels {
+		rt := k.Routine()
+		calleeRts := k.CalleeRoutines()
+		for ci := 0; ci < table1Configs; ci++ {
+			// Callees are allocated with the same options, so the measured
+			// program is consistently compiled end to end.
+			opts := core.Options{Machine: machines[ci], Mode: modes[ci]}
+			plan[ki][ci].main = len(units)
+			units = append(units, driver.Unit{
+				Name:    fmt.Sprintf("%s/%s@%s", k.Name, modes[ci], machines[ci].Name),
+				Routine: rt, Options: &opts,
+			})
+			for i, crt := range calleeRts {
+				plan[ki][ci].callees = append(plan[ki][ci].callees, len(units))
+				units = append(units, driver.Unit{
+					Name:    fmt.Sprintf("%s/callee%d/%s@%s", k.Name, i, modes[ci], machines[ci].Name),
+					Routine: crt, Options: &opts,
+				})
+			}
+		}
+	}
+	batch := driver.New(driver.Config{Workers: cfg.Jobs, Cache: cfg.Cache}).Run(units)
+	if err := batch.FirstErr(); err != nil {
+		return nil, fmt.Errorf("table1: %w", err)
+	}
+
 	var rows []Table1Row
-	for _, k := range suite.All() {
-		row, differs, err := table1Row(k, cfg)
+	for ki, k := range kernels {
+		row, differs, err := table1Row(k, batch, plan[ki], cfg)
 		if err != nil {
 			return nil, fmt.Errorf("table1 %s/%s: %w", k.Program, k.Name, err)
 		}
@@ -88,37 +143,27 @@ func Table1(cfg Table1Config) ([]Table1Row, error) {
 	return rows, nil
 }
 
-func runMode(k *suite.Kernel, m *target.Machine, mode core.Mode) (*interp.Outcome, error) {
-	opts := core.Options{Machine: m, Mode: mode}
-	res, err := core.Allocate(k.Routine(), opts)
-	if err != nil {
-		return nil, err
-	}
-	// Callees are allocated with the same options, so the measured
-	// program is consistently compiled end to end.
+// runAllocated executes one configuration's allocated program.
+func runAllocated(k *suite.Kernel, batch *driver.Batch, a table1Alloc) (*interp.Outcome, error) {
 	var callees []*iloc.Routine
-	for _, callee := range k.CalleeRoutines() {
-		cres, err := core.Allocate(callee, opts)
-		if err != nil {
-			return nil, err
-		}
-		callees = append(callees, cres.Routine)
+	for _, i := range a.callees {
+		callees = append(callees, batch.Results[i].Result.Routine)
 	}
-	return k.ExecuteWith(res.Routine, callees)
+	return k.ExecuteWith(batch.Results[a.main].Result.Routine, callees)
 }
 
-func table1Row(k *suite.Kernel, cfg Table1Config) (Table1Row, bool, error) {
+func table1Row(k *suite.Kernel, batch *driver.Batch, allocs [table1Configs]table1Alloc, cfg Table1Config) (Table1Row, bool, error) {
 	row := Table1Row{Program: k.Program, Routine: k.Name}
 
-	base, err := runMode(k, cfg.Baseline, core.ModeRemat)
+	base, err := runAllocated(k, batch, allocs[0])
 	if err != nil {
 		return row, false, fmt.Errorf("baseline: %w", err)
 	}
-	opt, err := runMode(k, cfg.Standard, core.ModeChaitin)
+	opt, err := runAllocated(k, batch, allocs[1])
 	if err != nil {
 		return row, false, fmt.Errorf("optimistic: %w", err)
 	}
-	rem, err := runMode(k, cfg.Standard, core.ModeRemat)
+	rem, err := runAllocated(k, batch, allocs[2])
 	if err != nil {
 		return row, false, fmt.Errorf("remat: %w", err)
 	}

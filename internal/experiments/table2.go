@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/driver"
 	"repro/internal/suite"
 	"repro/internal/target"
 )
@@ -49,28 +50,67 @@ type Table2Column struct {
 	Passes []PassTotal
 }
 
+// table2Modes is the column order within one routine: the paper's Old
+// (Chaitin) allocator, then New (rematerialization).
+var table2Modes = []core.Mode{core.ModeChaitin, core.ModeRemat}
+
 // Table2 reproduces the paper's allocation-time table: each routine is
 // allocated `runs` times per mode (the paper uses 10) and the phase times
 // of corresponding iterations are averaged. The default machine is the
 // calibrated 6-register one so the color–spill loop iterates a few
 // times, as in the paper's table (tomcatv there needed an extra round).
 func Table2(m *target.Machine, runs int) ([]Table2Column, error) {
+	return Table2Jobs(m, runs, 1)
+}
+
+// Table2Jobs is Table2 with the allocations sharded across the batch
+// driver's worker pool (jobs <= 0 uses the number of CPUs). Every
+// repetition is a distinct unit and caching is off — each timing must
+// come from a real allocation. With jobs > 1 the per-phase times include
+// scheduling noise from concurrent allocations; use jobs = 1 for
+// paper-grade timing columns.
+func Table2Jobs(m *target.Machine, runs, jobs int) ([]Table2Column, error) {
 	if m == nil {
 		m = target.WithRegs(6)
 	}
 	if runs <= 0 {
 		runs = 10
 	}
-	var cols []Table2Column
+
+	// One batch: routine-major, then mode, then repetition.
+	var units []driver.Unit
 	for _, name := range Table2Routines {
 		k := suite.ByName(name)
 		if k == nil {
 			return nil, fmt.Errorf("table2: kernel %s missing", name)
 		}
-		col, err := table2Column(k, m, runs)
-		if err != nil {
-			return nil, err
+		rt := k.Routine()
+		for _, mode := range table2Modes {
+			opts := core.Options{Machine: m, Mode: mode}
+			for r := 0; r < runs; r++ {
+				units = append(units, driver.Unit{
+					Name:    fmt.Sprintf("%s/%s/run%d", name, mode, r),
+					Routine: rt, Options: &opts,
+				})
+			}
 		}
+	}
+	batch := driver.New(driver.Config{Workers: jobs}).Run(units)
+	if err := batch.FirstErr(); err != nil {
+		return nil, fmt.Errorf("table2: %w", err)
+	}
+
+	results := func(routine, mode int) []*core.Result {
+		start := (routine*len(table2Modes) + mode) * runs
+		out := make([]*core.Result, runs)
+		for r := 0; r < runs; r++ {
+			out[r] = batch.Results[start+r].Result
+		}
+		return out
+	}
+	var cols []Table2Column
+	for ri, name := range Table2Routines {
+		col := table2Column(name, results(ri, 0), results(ri, 1))
 		cols = append(cols, col)
 	}
 	return cols, nil
@@ -87,14 +127,13 @@ func newPassTally() *passTally {
 	return &passTally{time: make(map[string]time.Duration), runs: make(map[string]int)}
 }
 
-func averageIterations(k *suite.Kernel, m *target.Machine, mode core.Mode, runs int) ([]core.PhaseTimes, *passTally, error) {
+// averageIterations folds one mode's repeated allocations (already done
+// by the driver) into per-iteration phase averages and a per-pass tally.
+func averageIterations(results []*core.Result) ([]core.PhaseTimes, *passTally) {
+	runs := len(results)
 	var acc []core.PhaseTimes
 	tally := newPassTally()
-	for r := 0; r < runs; r++ {
-		res, err := core.Allocate(k.Routine(), core.Options{Machine: m, Mode: mode})
-		if err != nil {
-			return nil, nil, err
-		}
+	for _, res := range results {
 		for i, it := range res.Iterations {
 			if i >= len(acc) {
 				acc = append(acc, core.PhaseTimes{})
@@ -123,19 +162,13 @@ func averageIterations(k *suite.Kernel, m *target.Machine, mode core.Mode, runs 
 		tally.time[name] /= time.Duration(runs)
 		tally.runs[name] /= runs
 	}
-	return acc, tally, nil
+	return acc, tally
 }
 
-func table2Column(k *suite.Kernel, m *target.Machine, runs int) (Table2Column, error) {
-	col := Table2Column{Routine: k.Name}
-	old, oldPasses, err := averageIterations(k, m, core.ModeChaitin, runs)
-	if err != nil {
-		return col, fmt.Errorf("table2 %s old: %w", k.Name, err)
-	}
-	nw, newPasses, err := averageIterations(k, m, core.ModeRemat, runs)
-	if err != nil {
-		return col, fmt.Errorf("table2 %s new: %w", k.Name, err)
-	}
+func table2Column(name string, oldResults, newResults []*core.Result) Table2Column {
+	col := Table2Column{Routine: name}
+	old, oldPasses := averageIterations(oldResults)
+	nw, newPasses := averageIterations(newResults)
 	// Per-pass breakdown in pipeline order, keeping only passes that ran
 	// for at least one mode.
 	for _, name := range core.PassNames() {
@@ -185,7 +218,7 @@ func table2Column(k *suite.Kernel, m *target.Machine, runs int) (Table2Column, e
 		col.OldTotal += get(old, i).CFA
 		col.NewTotal += get(nw, i).CFA
 	}
-	return col, nil
+	return col
 }
 
 // FormatTable2 renders the columns like the paper (times in

@@ -29,6 +29,7 @@ package regalloc
 import (
 	"repro/internal/core"
 	"repro/internal/ctrans"
+	"repro/internal/driver"
 	"repro/internal/experiments"
 	"repro/internal/iloc"
 	"repro/internal/interp"
@@ -127,6 +128,37 @@ func AllocPassNames() []string { return core.PassNames() }
 // statistics (what cmd/ralloc prints under -stats).
 func FormatAllocStats(res *Result) string { return core.FormatStats(res) }
 
+// Batch-allocation engine types (internal/driver): a Driver shards a
+// module's routines across a worker pool and returns results in input
+// order; a ResultCache makes repeated allocation of identical routines
+// free. DriverStats reports wall/CPU time, per-worker utilization and
+// this run's cache traffic; CacheStats the cache's lifetime counters.
+type (
+	Driver       = driver.Engine
+	DriverConfig = driver.Config
+	DriverStats  = driver.Stats
+	DriverUnit   = driver.Unit
+	DriverBatch  = driver.Batch
+	UnitResult   = driver.UnitResult
+	ResultCache  = driver.Cache
+	CacheStats   = driver.CacheStats
+)
+
+// NewDriver builds a batch-allocation engine. Workers <= 0 uses
+// runtime.GOMAXPROCS; a nil Cache disables caching.
+func NewDriver(cfg DriverConfig) *Driver { return driver.New(cfg) }
+
+// NewResultCache builds a content-addressed allocation cache holding at
+// most capacity entries (0 = unbounded). Share one cache across drivers
+// and runs to make repeated allocations free.
+func NewResultCache(capacity int) *ResultCache { return driver.NewCache(capacity) }
+
+// AllocateBatch allocates a module — a set of routines — concurrently
+// with a throwaway engine, returning per-routine results in input order.
+func AllocateBatch(units []DriverUnit, cfg DriverConfig) *DriverBatch {
+	return driver.Allocate(units, cfg)
+}
+
 // NewEnv builds an execution environment for a routine (frame + static
 // data). Use Env.Alloc/SetInt/SetFloat to stage inputs, then Env.Run.
 func NewEnv(rt *Routine) (*Env, error) { return interp.New(rt, interp.Config{}) }
@@ -181,6 +213,12 @@ func FormatTable1(rows []Table1Row) string { return experiments.FormatTable1(row
 
 // Table2 reproduces the per-phase allocation-time table.
 func Table2(m *Machine, runs int) ([]Table2Column, error) { return experiments.Table2(m, runs) }
+
+// Table2Jobs is Table2 with the repeated allocations sharded across the
+// batch driver's worker pool (jobs <= 0 = number of CPUs).
+func Table2Jobs(m *Machine, runs, jobs int) ([]Table2Column, error) {
+	return experiments.Table2Jobs(m, runs, jobs)
+}
 
 // FormatTable2 renders Table 2 columns.
 func FormatTable2(cols []Table2Column) string { return experiments.FormatTable2(cols) }

@@ -189,3 +189,50 @@ func TestTableAPIs(t *testing.T) {
 		t.Fatal("Table 2 formatting broken")
 	}
 }
+
+// TestDriverFacade exercises the batch-allocation surface: a module of
+// routines allocated concurrently with a shared result cache, results
+// in input order, and Stats/CacheStats exposed through the facade.
+func TestDriverFacade(t *testing.T) {
+	units := []DriverUnit{
+		{Name: "a", Routine: MustParse(apiSample)},
+		{Name: "b", Routine: MustParse(apiSample)}, // identical → cache hit on rerun
+	}
+	cache := NewResultCache(0)
+	d := NewDriver(DriverConfig{
+		Options: Options{Machine: StandardMachine(), Mode: ModeRemat},
+		Workers: 4,
+		Cache:   cache,
+	})
+	batch := d.Run(units)
+	if err := batch.FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+	if batch.Results[0].Name != "a" || batch.Results[1].Name != "b" {
+		t.Fatal("results out of order")
+	}
+	for _, r := range batch.Results {
+		out, err := Run(r.Result.Routine, Int(14))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.RetInt != 42 {
+			t.Fatalf("%s: triple(14) = %d", r.Name, out.RetInt)
+		}
+	}
+	warm := d.Run(units)
+	if warm.Stats.CacheHits != 2 {
+		t.Fatalf("warm run: %d hits", warm.Stats.CacheHits)
+	}
+	if cs := cache.Stats(); cs.Hits < 2 || cs.Entries != 1 {
+		t.Fatalf("cache stats: %+v", cs)
+	}
+	if !strings.Contains(warm.Stats.Format(), "driver:") {
+		t.Fatal("stats format broken")
+	}
+
+	// The one-shot helper works without an engine.
+	if err := AllocateBatch(units, DriverConfig{}).FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+}
