@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race verify fuzz bench
 
-check: fmt vet build test race
+check: fmt vet build test race verify fuzz
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -26,6 +26,18 @@ test:
 # guards the no-shared-mutable-state contract of core.Allocate.
 race:
 	$(GO) test -race ./...
+
+# verify runs the independent post-allocation checker over the whole
+# benchmark suite: every kernel and callee, both allocator modes, at
+# standard and starved register counts, asserting zero degradations.
+verify:
+	$(GO) test -run 'TestKernelsVerify' ./internal/suite
+
+# fuzz gives each native fuzz target a short smoke run; longer runs are
+# the same commands with a bigger -fuzztime.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 5s ./internal/iloc
+	$(GO) test -run '^$$' -fuzz FuzzAllocate -fuzztime 5s ./internal/core
 
 # bench runs the go-test benchmark suite, then the batch-driver
 # benchmark, which snapshots routines/sec, parallel speedup and cache

@@ -223,3 +223,35 @@ func TestCLIIlocrunProgramWithCalls(t *testing.T) {
 		t.Fatalf("allocated program wrong:\n%s", alloc)
 	}
 }
+
+// -verify and -strict must accept everything the allocator gets right,
+// and must not perturb the output: verification is read-only.
+func TestCLIVerifyAndStrict(t *testing.T) {
+	bin := buildCmd(t, "ralloc")
+	plain, _ := runCmd(t, bin, "", "-regs", "4", "testdata/fig1.iloc")
+	verified, stderr := runCmd(t, bin, "", "-regs", "4", "-verify", "testdata/fig1.iloc")
+	if plain != verified {
+		t.Fatalf("-verify changed the output:\n%s\nvs\n%s", plain, verified)
+	}
+	if strings.Contains(stderr, "degraded") {
+		t.Fatalf("unexpected degradation warning: %s", stderr)
+	}
+	strict, _ := runCmd(t, bin, "", "-regs", "4", "-strict", "testdata/fig1.iloc")
+	if plain != strict {
+		t.Fatalf("-strict changed the output:\n%s\nvs\n%s", plain, strict)
+	}
+}
+
+// A syntax error must surface as a located parse error, not a panic.
+func TestCLIParseErrorIsLocated(t *testing.T) {
+	bin := buildCmd(t, "ralloc")
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.iloc")
+	if err := os.WriteFile(bad, []byte("routine f()\nentry:\n    bogus r1, r2\n    ret\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stderr := runCmdFail(t, bin, bad)
+	if !strings.Contains(stderr, "line 3") || strings.Contains(stderr, "goroutine") {
+		t.Fatalf("expected a located parse error, got: %s", stderr)
+	}
+}

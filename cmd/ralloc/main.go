@@ -2,7 +2,7 @@
 // and prints the result.
 //
 //	ralloc [-mode remat|chaitin] [-regs N] [-split scheme] [-j N]
-//	       [-cache] [-c] [-stats] [file.iloc ...]
+//	       [-cache] [-c] [-stats] [-verify] [-strict] [file.iloc ...]
 //
 // With no file it reads standard input; "-" names standard input
 // explicitly. Several files form a module: they are allocated
@@ -13,6 +13,13 @@
 // emits the instrumented C translation (Figure 4 style) instead of
 // ILOC; -stats prints per-phase times and spill counts per routine plus
 // the driver's batch summary.
+//
+// -verify runs the independent post-allocation checker on every result;
+// a routine whose allocation fails it degrades to the spill-everywhere
+// fallback, with a warning on standard error. -strict implies -verify
+// and additionally disables degradation: any allocator failure —
+// non-convergence, a contained panic, a verifier rejection — exits
+// nonzero instead of emitting fallback code.
 package main
 
 import (
@@ -36,9 +43,13 @@ func main() {
 	cache := flag.Bool("cache", false, "reuse allocations of identical routines (content-addressed cache)")
 	emitC := flag.Bool("c", false, "emit instrumented C instead of ILOC")
 	stats := flag.Bool("stats", false, "print allocation statistics")
+	verify := flag.Bool("verify", false, "run the post-allocation verifier on every result")
+	strict := flag.Bool("strict", false, "imply -verify and fail instead of degrading to spill-everywhere")
 	flag.Parse()
 
 	opts := core.Options{Machine: target.WithRegs(*regs)}
+	opts.Verify = *verify || *strict
+	opts.DisableDegradation = *strict
 	switch *mode {
 	case "remat":
 		opts.Mode = core.ModeRemat
@@ -86,6 +97,12 @@ func main() {
 	batch := driver.New(cfg).Run(units)
 	if err := batch.FirstErr(); err != nil {
 		fail(err)
+	}
+	for _, r := range batch.Results {
+		if r.Result.Degraded {
+			fmt.Fprintf(os.Stderr, "ralloc: warning: %s degraded to spill-everywhere: %s\n",
+				r.Name, r.Result.DegradeReason)
+		}
 	}
 
 	for _, r := range batch.Results {

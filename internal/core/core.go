@@ -21,6 +21,7 @@ import (
 	"repro/internal/iloc"
 	"repro/internal/remat"
 	"repro/internal/target"
+	"repro/internal/verify"
 )
 
 // Mode selects the rematerialization strategy.
@@ -69,6 +70,20 @@ type Options struct {
 	Metric SpillMetric
 	// MaxIterations bounds the spill/color loop (default 32).
 	MaxIterations int
+
+	// Verify runs the allocator-independent checker (internal/verify)
+	// over the finished allocation — bounds, use-before-def liveness,
+	// caller-save discipline, spill-slot soundness, rematerialization
+	// tags, and an interpreter differential where possible. A rejected
+	// allocation is treated like any other allocator failure: it
+	// degrades (below) or errors.
+	Verify bool
+	// DisableDegradation turns off the spill-everywhere fallback. By
+	// default a failed allocation — non-convergence, a contained panic,
+	// or a verifier rejection — degrades to a guaranteed-terminating
+	// spill-everywhere allocation with Result.Degraded set; with this
+	// flag the failure surfaces as an *AllocError instead.
+	DisableDegradation bool
 }
 
 func (o Options) withDefaults() Options {
@@ -132,6 +147,11 @@ type Result struct {
 	RematSpills   int
 	Mode          Mode
 	Machine       *target.Machine
+	// Degraded reports that the iterated allocator failed and the
+	// routine was re-allocated by the spill-everywhere fallback;
+	// DegradeReason records why (the original failure's message).
+	Degraded      bool
+	DegradeReason string
 }
 
 // TotalTimes sums phase times over all iterations.
@@ -202,6 +222,43 @@ func Allocate(rt *iloc.Routine, opts Options) (*Result, error) {
 	if err := iloc.Verify(rt, false); err != nil {
 		return nil, fmt.Errorf("core: input: %w", err)
 	}
+	res, err := allocate(rt, opts)
+	if err == nil {
+		return res, nil
+	}
+	if opts.DisableDegradation {
+		return nil, err
+	}
+	// Graceful degradation: the iterated allocator failed (it did not
+	// converge, a pass panicked, or the verifier rejected its output).
+	// Re-allocate with the spill-everywhere fallback, which terminates
+	// on any verifiable input, and record why.
+	dres, derr := spillEverywhere(rt, opts)
+	if derr != nil {
+		return nil, err // fallback failed too; report the original fault
+	}
+	if opts.Verify {
+		if verr := verifyResult(rt, dres, opts); verr != nil {
+			return nil, &AllocError{
+				Routine: rt.Name, Pass: "verify",
+				Err: fmt.Errorf("spill-everywhere fallback rejected (%v) after: %w", verr, err),
+			}
+		}
+	}
+	dres.Degraded = true
+	dres.DegradeReason = err.Error()
+	return dres, nil
+}
+
+// allocate runs the iterated build–color–spill pipeline with panic
+// containment: any panic escaping a pass (or the loop scaffolding)
+// surfaces as an *AllocError instead of unwinding into the caller.
+func allocate(rt *iloc.Routine, opts Options) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, recovered(rt.Name, "", 0, r)
+		}
+	}()
 	a := &allocator{
 		rt:   rt.Clone(),
 		opts: opts,
@@ -219,12 +276,29 @@ func Allocate(rt *iloc.Routine, opts Options) (*Result, error) {
 			return nil, err
 		}
 		a.res.Iterations = append(a.res.Iterations, stats)
-		if done {
-			a.res.Routine = a.rt
-			return a.res, nil
+		if !done {
+			continue
 		}
+		a.res.Routine = a.rt
+		if opts.Verify {
+			if verr := verifyResult(rt, a.res, opts); verr != nil {
+				return nil, &AllocError{
+					Routine: rt.Name, Pass: "verify", Iteration: iter, Err: verr,
+				}
+			}
+		}
+		return a.res, nil
 	}
-	return nil, fmt.Errorf("core: allocation of %s did not converge in %d iterations", rt.Name, opts.MaxIterations)
+	return nil, &AllocError{
+		Routine: rt.Name, Pass: "loop", Iteration: opts.MaxIterations - 1,
+		Err: fmt.Errorf("allocation did not converge in %d iterations", opts.MaxIterations),
+	}
+}
+
+// verifyResult runs the independent post-allocation checker against the
+// original input routine.
+func verifyResult(input *iloc.Routine, res *Result, opts Options) error {
+	return verify.Check(input, res.Routine, opts.Machine, verify.Options{Differential: true})
 }
 
 // scanFrameBase finds the first fp-relative offset beyond any the routine

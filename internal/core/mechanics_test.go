@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -280,15 +281,26 @@ func TestSplitsVanishWithoutPressure(t *testing.T) {
 }
 
 // MaxIterations aborts a pressured allocation cleanly rather than
-// looping forever.
+// looping forever. With degradation disabled, the non-convergence
+// surfaces as a structured *AllocError naming the loop.
 func TestMaxIterationsRespected(t *testing.T) {
 	rt := iloc.MustParse(fig1Src)
-	_, err := Allocate(rt, Options{Machine: target.WithRegs(3), Mode: ModeRemat, MaxIterations: 1})
+	_, err := Allocate(rt, Options{
+		Machine: target.WithRegs(3), Mode: ModeRemat,
+		MaxIterations: 1, DisableDegradation: true,
+	})
 	if err == nil {
 		t.Fatal("expected non-convergence error with MaxIterations=1")
 	}
 	if !strings.Contains(err.Error(), "did not converge") {
 		t.Fatalf("unexpected error: %v", err)
+	}
+	var ae *AllocError
+	if !errors.As(err, &ae) {
+		t.Fatalf("error is not an *AllocError: %v", err)
+	}
+	if ae.Pass != "loop" || ae.Routine != rt.Name {
+		t.Fatalf("unexpected AllocError fields: pass=%q routine=%q", ae.Pass, ae.Routine)
 	}
 }
 

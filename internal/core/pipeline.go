@@ -330,7 +330,7 @@ func (a *allocator) round() (IterationStats, bool, error) {
 		}
 		ps := PassStat{Name: p.name}
 		t0 := time.Now()
-		err := p.run(a, ctx, &st, &ps)
+		err := a.runPass(p, ctx, &st, &ps)
 		ps.Time = time.Since(t0)
 		*p.times(&st.Times) += ps.Time
 		st.Passes = append(st.Passes, ps)
@@ -342,6 +342,28 @@ func (a *allocator) round() (IterationStats, bool, error) {
 		}
 	}
 	return st, ctx.done, nil
+}
+
+// runPass executes one pipeline pass with panic containment: a panic
+// anywhere inside the pass — an allocator bug, a violated invariant, or
+// the PanicHook fault injector — is recovered into a structured
+// *AllocError naming the routine, pass and iteration, so one poisoned
+// routine fails as an error value rather than unwinding the caller (or
+// a whole driver batch). Ordinary pass errors get the same wrapping for
+// a uniform error taxonomy.
+func (a *allocator) runPass(p *Pass, ctx *roundCtx, st *IterationStats, ps *PassStat) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = recovered(a.rt.Name, p.name, a.roundNo, r)
+		}
+	}()
+	if hook := PanicHook; hook != nil {
+		hook(a.rt.Name, p.name)
+	}
+	if err := p.run(a, ctx, st, ps); err != nil {
+		return &AllocError{Routine: a.rt.Name, Pass: p.name, Iteration: a.roundNo, Err: err}
+	}
+	return nil
 }
 
 // graphStats records the current interference graph size (both classes)

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/iloc"
+	"repro/internal/interp"
+	"repro/internal/target"
+	"repro/internal/verify"
+)
+
+// runSame executes the input routine and an allocated routine and
+// compares their integer results — the end-to-end soundness check every
+// degraded allocation must still pass.
+func runSame(t *testing.T, input, allocated *iloc.Routine, args ...interp.Value) {
+	t.Helper()
+	want, err := mustRun(t, input, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := mustRun(t, allocated, args...)
+	if err != nil {
+		t.Fatalf("degraded code faults: %v\n%s", err, iloc.Print(allocated))
+	}
+	if got.RetInt != want.RetInt || got.RetFloat != want.RetFloat {
+		t.Fatalf("degraded code computes (%d, %g), input computes (%d, %g)",
+			got.RetInt, got.RetFloat, want.RetInt, want.RetFloat)
+	}
+}
+
+// Non-convergence degrades to spill-everywhere: the result is marked,
+// carries the reason, passes the independent verifier, and computes the
+// same answer as the virtual-register input.
+func TestDegradationOnNonConvergence(t *testing.T) {
+	rt := iloc.MustParse(fig1Src)
+	m := target.WithRegs(3)
+	res, err := Allocate(rt, Options{Machine: m, Mode: ModeRemat, MaxIterations: 1, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded {
+		t.Fatal("expected a degraded result with MaxIterations=1 at K=2")
+	}
+	if !strings.Contains(res.DegradeReason, "did not converge") {
+		t.Fatalf("DegradeReason = %q", res.DegradeReason)
+	}
+	if err := verify.Check(rt, res.Routine, m, verify.Options{Differential: true}); err != nil {
+		t.Fatalf("degraded result rejected by verifier: %v", err)
+	}
+	runSame(t, rt, res.Routine, interp.Int(4))
+}
+
+// A panic seeded into a pipeline pass is contained: with degradation
+// disabled it surfaces as a structured *AllocError naming the pass, and
+// by default the allocation degrades to a sound spill-everywhere result.
+func TestPanicContainment(t *testing.T) {
+	PanicHook = func(_, pass string) {
+		if pass == "build" {
+			panic("injected fault")
+		}
+	}
+	defer func() { PanicHook = nil }()
+
+	rt := iloc.MustParse(fig1Src)
+	_, err := Allocate(rt, Options{Machine: target.Standard(), Mode: ModeRemat, DisableDegradation: true})
+	if err == nil {
+		t.Fatal("expected the injected panic to surface as an error")
+	}
+	var ae *AllocError
+	if !errors.As(err, &ae) {
+		t.Fatalf("error is not an *AllocError: %v", err)
+	}
+	if ae.Pass != "build" || ae.Routine != rt.Name || ae.Iteration != 0 {
+		t.Fatalf("AllocError = {Routine:%q Pass:%q Iteration:%d}", ae.Routine, ae.Pass, ae.Iteration)
+	}
+	if ae.Stack == "" {
+		t.Fatal("recovered panic lost its stack trace")
+	}
+	if !strings.Contains(err.Error(), "injected fault") {
+		t.Fatalf("error message lost the panic value: %v", err)
+	}
+
+	res, err := Allocate(rt, Options{Machine: target.Standard(), Mode: ModeRemat, Verify: true})
+	if err != nil {
+		t.Fatalf("degradation did not rescue the poisoned pipeline: %v", err)
+	}
+	if !res.Degraded || !strings.Contains(res.DegradeReason, "injected fault") {
+		t.Fatalf("Degraded=%v reason=%q", res.Degraded, res.DegradeReason)
+	}
+	runSame(t, rt, res.Routine, interp.Int(4))
+}
+
+// The spill-everywhere fallback on its own: every virtual register gets
+// a slot, the output verifies against the machine it targets (including
+// a machine with the minimum two colors per bank), and it executes
+// identically to the input.
+func TestSpillEverywhereDirect(t *testing.T) {
+	for _, m := range []*target.Machine{target.Standard(), target.WithRegs(3)} {
+		rt := iloc.MustParse(fig1Src)
+		res, err := spillEverywhere(rt, Options{Machine: m, Mode: ModeRemat}.withDefaults())
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if err := verify.Check(rt, res.Routine, m, verify.Options{Differential: true}); err != nil {
+			t.Fatalf("%s: %v\n%s", m.Name, err, iloc.Print(res.Routine))
+		}
+		runSame(t, rt, res.Routine, interp.Int(4))
+	}
+}
+
+// A fault in the final pass — rewrite, which produces the allocated
+// code itself — still degrades: the pipeline never yields output, and
+// the fallback's result is the only sound one.
+func TestFaultInRewriteDegrades(t *testing.T) {
+	PanicHook = func(_, pass string) {
+		if pass == "rewrite" {
+			panic("rewrite corrupted")
+		}
+	}
+	defer func() { PanicHook = nil }()
+	rt := iloc.MustParse(fig1Src)
+	res, err := Allocate(rt, Options{Machine: target.Standard(), Mode: ModeRemat, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded {
+		t.Fatal("expected degradation when rewrite cannot complete")
+	}
+	runSame(t, rt, res.Routine, interp.Int(4))
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/iloc"
+)
+
+// spillEverywhere is the graceful-degradation allocator: every virtual
+// register lives in a frame slot, every use reloads it into a scratch
+// color just before the instruction, and every definition stores it
+// right back. The output is as slow as allocated code gets, but the
+// construction is a single linear pass with no coloring, no liveness and
+// no iteration, so it terminates on any verifiable input and cannot
+// spill-loop — the always-terminating baseline of the spill-everywhere
+// literature (Bouchez, Darte & Rastello). Allocate falls back to it when
+// the iterated build–color–spill loop fails (non-convergence, a
+// contained panic, or a verifier rejection), so one poisoned routine
+// degrades to correct-but-slow code instead of failing a whole batch.
+//
+// Scratch registers are colors 1 and 2 of each bank (every valid
+// machine exposes at least two); they are dead between instructions, so
+// nothing is live across a call and the caller-save discipline holds
+// trivially.
+func spillEverywhere(input *iloc.Routine, opts Options) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, recovered(input.Name, "spill-everywhere", 0, r)
+		}
+	}()
+
+	m := opts.Machine
+	rt := input.Clone()
+	frameBase := scanFrameBase(rt)
+	nextSlot := 0
+	var slots [iloc.NumClasses]map[int]int64
+	for c := range slots {
+		slots[c] = make(map[int]int64)
+	}
+	slotFor := func(c iloc.Class, n int) int64 {
+		if off, ok := slots[c][n]; ok {
+			return off
+		}
+		off := frameBase + int64(nextSlot)*8
+		nextSlot++
+		slots[c][n] = off
+		return off
+	}
+
+	var st IterationStats
+	for _, b := range rt.Blocks {
+		out := make([]*iloc.Instr, 0, 3*len(b.Instrs))
+		for _, in := range b.Instrs {
+			if in.Op == iloc.OpPhi {
+				return nil, fmt.Errorf("core: spill-everywhere: φ-node in %s", input.Name)
+			}
+			// Reload each distinct spilled use into its own scratch color.
+			assigned := map[iloc.Reg]iloc.Reg{}
+			next := [iloc.NumClasses]int{1, 1}
+			for i := 0; i < in.Op.NSrc(); i++ {
+				u := in.Src[i]
+				if !u.Valid() || u.N == 0 {
+					continue
+				}
+				t, ok := assigned[u]
+				if !ok {
+					col := next[u.Class]
+					next[u.Class]++
+					if col > m.K(u.Class) {
+						return nil, fmt.Errorf("core: spill-everywhere: %q needs %d scratch %s registers, machine %s has %d",
+							in, col, u.Class, m.Name, m.K(u.Class))
+					}
+					t = iloc.Reg{Class: u.Class, N: col}
+					assigned[u] = t
+					out = append(out, &iloc.Instr{
+						Op:  reloadOp(u.Class),
+						Dst: t, Src: [2]iloc.Reg{iloc.FP, iloc.NoReg},
+						Imm: slotFor(u.Class, u.N), IsSpill: true,
+					})
+					st.Spilled[u.Class]++
+				}
+				in.Src[i] = t
+			}
+			// The definition computes into scratch color 1 (written only
+			// after the sources are read) and is stored to its slot.
+			if d := in.Def(); d.Valid() && d.N != 0 {
+				t := iloc.Reg{Class: d.Class, N: 1}
+				in.Dst = t
+				out = append(out, in)
+				out = append(out, &iloc.Instr{
+					Op:  storeOp(d.Class),
+					Dst: iloc.NoReg,
+					Src: [2]iloc.Reg{t, iloc.FP},
+					Imm: slotFor(d.Class, d.N), IsSpill: true,
+				})
+				continue
+			}
+			out = append(out, in)
+		}
+		b.Instrs = out
+	}
+
+	rt.FrameWords = int(frameBase/8) + nextSlot
+	rt.Allocated = true
+	for c := range rt.NextReg {
+		rt.NextReg[c] = m.Regs[c]
+		rt.CallerSave[c] = m.CallerSave
+	}
+
+	ranges := len(slots[iloc.ClassInt]) + len(slots[iloc.ClassFlt])
+	st.Passes = []PassStat{{Name: "spill-everywhere", Spilled: ranges}}
+	return &Result{
+		Routine:       rt,
+		Iterations:    []IterationStats{st},
+		SpilledRanges: ranges,
+		Mode:          opts.Mode,
+		Machine:       m,
+	}, nil
+}

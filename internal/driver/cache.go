@@ -39,10 +39,10 @@ func KeyFor(rt *iloc.Routine, opts core.Options) Key {
 func optionsKey(opts core.Options) string {
 	o := opts.Canonical()
 	m := o.Machine
-	return fmt.Sprintf("mode=%d regs=%d,%d callersave=%d mem=%d other=%d nocoalesce=%t nobias=%t nolookahead=%t split=%d metric=%d maxiter=%d",
+	return fmt.Sprintf("mode=%d regs=%d,%d callersave=%d mem=%d other=%d nocoalesce=%t nobias=%t nolookahead=%t split=%d metric=%d maxiter=%d verify=%t nodegrade=%t",
 		o.Mode, m.Regs[0], m.Regs[1], m.CallerSave, m.MemCycles, m.OtherCycles,
 		o.DisableConservativeCoalescing, o.DisableBiasedColoring, o.DisableLookahead,
-		o.Split, o.Metric, o.MaxIterations)
+		o.Split, o.Metric, o.MaxIterations, o.Verify, o.DisableDegradation)
 }
 
 // CacheStats is a point-in-time snapshot of a cache's counters.

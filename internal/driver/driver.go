@@ -81,6 +81,11 @@ type Stats struct {
 	// returned an error.
 	Routines int
 	Failed   int
+	// Degraded counts units whose allocation fell back to
+	// spill-everywhere; Degradations records each as "name: reason" in
+	// input order.
+	Degraded     int
+	Degradations []string
 	// CacheHits and CacheMisses count this run's lookups (the cache's own
 	// counters aggregate across runs and engines).
 	CacheHits   int
@@ -108,6 +113,12 @@ func (s Stats) Speedup() float64 {
 func (s Stats) Format() string {
 	out := fmt.Sprintf("driver: %d routine(s), %d failed, %d worker(s), wall %v, cpu %v (%.2fx)",
 		s.Routines, s.Failed, s.Workers, s.Wall.Round(time.Microsecond), s.CPU.Round(time.Microsecond), s.Speedup())
+	if s.Degraded > 0 {
+		out += fmt.Sprintf("\ndriver: %d degraded to spill-everywhere", s.Degraded)
+		for _, d := range s.Degradations {
+			out += "\ndriver:   " + d
+		}
+	}
 	if s.CacheHits+s.CacheMisses > 0 {
 		out += fmt.Sprintf("\ndriver: cache %d hit(s), %d miss(es)", s.CacheHits, s.CacheMisses)
 	}
@@ -213,12 +224,33 @@ func (e *Engine) Run(units []Unit) *Batch {
 				b.Stats.CacheMisses++
 			}
 		}
+		if r.Result != nil && r.Result.Degraded {
+			b.Stats.Degraded++
+			b.Stats.Degradations = append(b.Stats.Degradations,
+				fmt.Sprintf("%s: %s", r.Name, r.Result.DegradeReason))
+		}
 	}
 	return b
 }
 
-// allocate handles one unit: cache lookup, allocation, cache fill.
-func (e *Engine) allocate(u Unit) (*core.Result, bool, error) {
+// allocate handles one unit with panic containment: core.Allocate
+// contains panics inside its own pipeline, but the driver's cache
+// lookup, key hashing and option plumbing run outside that boundary, and
+// a worker goroutine that panics would kill the whole process. Any panic
+// escaping a unit is recovered into a *core.AllocError so it fails that
+// unit alone.
+func (e *Engine) allocate(u Unit) (res *core.Result, hit bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, hit = nil, false
+			err = &core.AllocError{Routine: u.Name, Err: fmt.Errorf("driver: panic in worker: %v", r)}
+		}
+	}()
+	return e.allocateUnit(u)
+}
+
+// allocateUnit handles one unit: cache lookup, allocation, cache fill.
+func (e *Engine) allocateUnit(u Unit) (*core.Result, bool, error) {
 	opts := e.cfg.Options
 	if u.Options != nil {
 		opts = *u.Options

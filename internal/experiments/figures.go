@@ -76,7 +76,11 @@ func Figure1() (*Figure1Result, error) {
 	r := &Figure1Result{Source: Figure1Source}
 
 	run := func(mode core.Mode) (string, *interp.Outcome, error) {
-		res, err := core.Allocate(iloc.MustParse(Figure1Source), core.Options{Machine: m, Mode: mode})
+		rt, err := iloc.Parse(Figure1Source)
+		if err != nil {
+			return "", nil, err
+		}
+		res, err := core.Allocate(rt, core.Options{Machine: m, Mode: mode})
 		if err != nil {
 			return "", nil, err
 		}
@@ -131,7 +135,11 @@ func (r *Figure1Result) Format() string {
 // executed per iteration, with the spill counts that send the allocator
 // around the loop again.
 func Figure2() (string, error) {
-	res, err := core.Allocate(iloc.MustParse(Figure1Source), core.Options{
+	rt, err := iloc.Parse(Figure1Source)
+	if err != nil {
+		return "", err
+	}
+	res, err := core.Allocate(rt, core.Options{
 		Machine: target.WithRegs(3), Mode: core.ModeRemat,
 	})
 	if err != nil {
@@ -168,7 +176,10 @@ type Figure3Result struct {
 // Figure3 reproduces Figure 3's "Introducing Splits" walk-through.
 func Figure3() (*Figure3Result, error) {
 	// Stage 1: SSA with φ-nodes, as the SSA column shows.
-	rt := iloc.MustParse(Figure1Source)
+	rt, err := iloc.Parse(Figure1Source)
+	if err != nil {
+		return nil, err
+	}
 	if err := cfg.Build(rt); err != nil {
 		return nil, err
 	}
@@ -194,7 +205,11 @@ func Figure3() (*Figure3Result, error) {
 
 	// Stage 3: the full renumber pass produces the Minimal column — the
 	// single split isolating the never-killed lda value.
-	res, err := core.Allocate(iloc.MustParse(Figure1Source), core.Options{
+	fresh, err := iloc.Parse(Figure1Source)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Allocate(fresh, core.Options{
 		Machine: target.Huge(), Mode: core.ModeRemat,
 	})
 	if err != nil {
@@ -245,7 +260,10 @@ L0023:
 N7:
     retf f15
 `
-	rt := iloc.MustParse(src)
+	rt, err := iloc.Parse(src)
+	if err != nil {
+		return iloc.Routine{}, "", "", err
+	}
 	c, err := ctrans.Translate(rt)
 	if err != nil {
 		return iloc.Routine{}, "", "", err

@@ -1,6 +1,7 @@
 package iloc
 
 import (
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -49,6 +50,78 @@ func TestParseNeverPanics(t *testing.T) {
 				}
 			}
 		}()
+	}
+}
+
+// FuzzParse is the native fuzz target behind the deterministic smoke
+// tests above: any input must either parse into a routine or produce a
+// located *ParseError — never a panic — and whatever parses and
+// verifies must print/reparse stably.
+func FuzzParse(f *testing.F) {
+	f.Add(sampleSrc)
+	f.Add("routine a()\nx:\n ldi r1, 2\n retr r1\n")
+	f.Add("routine a(r1)\ndata t rw 4 = 1 2 3 4\nx:\n lda r2, t\n load r3, r2\n add r3, r3, r1\n retr r3\n")
+	f.Add("routine a()\nx:\n br ge r1, x, y\ny:\n ret\n")
+	f.Add("routine \xffbad()\nx:\n ret\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<14 {
+			t.Skip("oversized input")
+		}
+		rt, err := Parse(src)
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("Parse error is not a *ParseError: %T %v", err, err)
+			}
+			if pe.Line < 0 || pe.Line > strings.Count(src, "\n")+1 {
+				t.Fatalf("ParseError line %d out of range for input", pe.Line)
+			}
+			return
+		}
+		if Verify(rt, false) != nil {
+			return
+		}
+		text := Print(rt)
+		rt2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("reparse of valid routine failed: %v\n%s", err, text)
+		}
+		if Print(rt2) != text {
+			t.Fatalf("print/reparse unstable:\n%s\nvs\n%s", text, Print(rt2))
+		}
+	})
+}
+
+// TestParseErrorLocation pins the error API the tools rely on: a
+// per-line failure carries its 1-based line number, whole-source
+// failures use line 0, and Unwrap exposes the cause.
+func TestParseErrorLocation(t *testing.T) {
+	_, err := Parse("routine a()\nx:\n ldi r1, 2\n bogus r9\n ret\n")
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("not a *ParseError: %T %v", err, err)
+	}
+	if pe.Line != 4 {
+		t.Fatalf("Line = %d, want 4 (%v)", pe.Line, err)
+	}
+	if !strings.Contains(err.Error(), "line 4:") {
+		t.Fatalf("message %q does not locate the line", err)
+	}
+	if pe.Unwrap() == nil || !strings.Contains(pe.Unwrap().Error(), "unknown op") {
+		t.Fatalf("Unwrap = %v", pe.Unwrap())
+	}
+
+	_, err = Parse("")
+	if !errors.As(err, &pe) || pe.Line != 0 {
+		t.Fatalf("whole-source error = %v, want *ParseError with Line 0", err)
+	}
+	if strings.Contains(err.Error(), "line") {
+		t.Fatalf("line-0 message should not cite a line: %q", err)
+	}
+
+	_, err = ParseProgram("routine a()\nx:\n ret\nroutine a()\ny:\n ret\n")
+	if !errors.As(err, &pe) {
+		t.Fatalf("ParseProgram error not a *ParseError: %T %v", err, err)
 	}
 }
 

@@ -18,30 +18,50 @@ import (
 // Instructions follow Instr.String's syntax exactly, so Print output
 // round-trips. Control falls through from a block without a terminator to
 // the next block in the file.
+// A ParseError locates a syntax error in the source handed to Parse or
+// ParseProgram. Line is 1-based; 0 means the error concerns the source
+// as a whole (no routine header, no code) rather than one line.
+type ParseError struct {
+	Line int
+	Err  error
+}
+
+func (e *ParseError) Error() string {
+	if e.Line == 0 {
+		return e.Err.Error()
+	}
+	return fmt.Sprintf("line %d: %v", e.Line, e.Err)
+}
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
 func Parse(src string) (*Routine, error) {
 	p := &parser{}
 	lines := strings.Split(src, "\n")
 	for ln, raw := range lines {
 		if err := p.line(raw); err != nil {
-			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+			return nil, &ParseError{Line: ln + 1, Err: err}
 		}
 	}
 	if p.rt == nil {
-		return nil, fmt.Errorf("no routine header")
+		return nil, &ParseError{Err: fmt.Errorf("no routine header")}
 	}
 	if len(p.rt.Blocks) == 0 {
-		return nil, fmt.Errorf("routine %s has no code", p.rt.Name)
+		return nil, &ParseError{Err: fmt.Errorf("routine %s has no code", p.rt.Name)}
 	}
 	p.rt.Reindex()
 	return p.rt, nil
 }
 
-// MustParse is Parse that panics on error; intended for embedded sources
-// in tests and the benchmark suite.
+// MustParse is Parse that panics on error. It exists for compile-time
+// constant sources — test fixtures and the embedded figure listings —
+// where a parse failure is a bug in this repository, not in input.
+// Anything parsing caller-supplied or generated text must use Parse and
+// handle the *ParseError it returns.
 func MustParse(src string) *Routine {
 	rt, err := Parse(src)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("iloc.MustParse on embedded source: %v", err))
 	}
 	return rt
 }
@@ -68,7 +88,7 @@ func ParseProgram(src string) ([]*Routine, error) {
 		chunks = append(chunks, strings.Join(cur, "\n"))
 	}
 	if len(chunks) == 0 {
-		return nil, fmt.Errorf("no routine header")
+		return nil, &ParseError{Err: fmt.Errorf("no routine header")}
 	}
 	var out []*Routine
 	seen := map[string]bool{}
@@ -78,7 +98,7 @@ func ParseProgram(src string) ([]*Routine, error) {
 			return nil, err
 		}
 		if seen[rt.Name] {
-			return nil, fmt.Errorf("duplicate routine %q", rt.Name)
+			return nil, &ParseError{Err: fmt.Errorf("duplicate routine %q", rt.Name)}
 		}
 		seen[rt.Name] = true
 		out = append(out, rt)

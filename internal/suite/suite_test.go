@@ -153,3 +153,41 @@ func TestKernelsExtremePressure(t *testing.T) {
 		})
 	}
 }
+
+// TestKernelsVerifyCleanly is the acceptance bar for the post-allocation
+// verifier: every kernel (and every callee it links against) allocates
+// at standard K in both modes with Options.Verify on, and none of them
+// degrades to the spill-everywhere fallback. A degradation here means
+// either the allocator emitted something the verifier rejects or the
+// verifier has a false positive — both are bugs.
+func TestKernelsVerifyCleanly(t *testing.T) {
+	for _, k := range All() {
+		k := k
+		t.Run(k.Program+"/"+k.Name, func(t *testing.T) {
+			for _, mode := range []core.Mode{core.ModeChaitin, core.ModeRemat} {
+				opts := core.Options{Machine: target.Standard(), Mode: mode, Verify: true}
+				res, err := core.Allocate(k.Routine(), opts)
+				if err != nil {
+					t.Fatalf("mode %v: %v", mode, err)
+				}
+				if res.Degraded {
+					t.Fatalf("mode %v: degraded at standard K: %s", mode, res.DegradeReason)
+				}
+				var callees []*iloc.Routine
+				for _, c := range k.CalleeRoutines() {
+					cr, err := core.Allocate(c, opts)
+					if err != nil {
+						t.Fatalf("mode %v callee %s: %v", mode, c.Name, err)
+					}
+					if cr.Degraded {
+						t.Fatalf("mode %v callee %s: degraded: %s", mode, c.Name, cr.DegradeReason)
+					}
+					callees = append(callees, cr.Routine)
+				}
+				if _, err := k.ExecuteWith(res.Routine, callees); err != nil {
+					t.Fatalf("mode %v: %v", mode, err)
+				}
+			}
+		})
+	}
+}

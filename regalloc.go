@@ -35,6 +35,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/suite"
 	"repro/internal/target"
+	"repro/internal/verify"
 )
 
 // Core IR types. Routine is a procedure in ILOC form; Instr one
@@ -88,8 +89,13 @@ type Kernel = suite.Kernel
 // grammar; Print output round-trips.
 func Parse(src string) (*Routine, error) { return iloc.Parse(src) }
 
-// MustParse is Parse that panics on error.
+// MustParse is Parse that panics on error; for compile-time constant
+// sources only. Caller-supplied text must go through Parse, whose
+// errors are *ParseError values locating the offending line.
 func MustParse(src string) *Routine { return iloc.MustParse(src) }
+
+// ParseError locates a syntax error in Parse/ParseProgram input.
+type ParseError = iloc.ParseError
 
 // ParseProgram reads a file holding several routines; the first is the
 // entry point, the rest callees for RunProgram.
@@ -118,7 +124,29 @@ func MachineWithRegs(n int) *Machine { return target.WithRegs(n) }
 // Allocate maps the routine's virtual registers onto a machine. The
 // input is not modified; Result.Routine holds the allocated clone with
 // spill code inserted and register numbers equal to physical colors.
+//
+// Robustness: a panic inside the allocator is contained and surfaces as
+// an *AllocError. By default a failed allocation — non-convergence, a
+// contained panic, or (with Options.Verify) a verifier rejection —
+// degrades to a guaranteed-terminating spill-everywhere allocation with
+// Result.Degraded set; Options.DisableDegradation turns the failure
+// into an error instead.
 func Allocate(rt *Routine, opts Options) (*Result, error) { return core.Allocate(rt, opts) }
+
+// AllocError is the structured failure report of one allocation: the
+// routine, the pipeline pass, the iteration, and the underlying cause
+// (with the goroutine stack when a panic was contained).
+type AllocError = core.AllocError
+
+// VerifyAllocation independently checks a finished allocation against
+// the input routine it came from: register bounds, use-before-def
+// liveness, caller-save discipline across calls, spill-slot soundness,
+// rematerialization tags, and — where the routine needs no arguments or
+// callees — an interpreter differential. A nil error means the
+// allocated routine is safe to run in place of the input.
+func VerifyAllocation(input, allocated *Routine, m *Machine) error {
+	return verify.Check(input, allocated, m, verify.Options{Differential: true})
+}
 
 // AllocPassNames lists the allocator pipeline's passes in execution
 // order (conditional passes included).
