@@ -1,11 +1,19 @@
 # Tier-1 verification: formatting, vet, build, tests. CI and the README
-# both point here; `make check` must pass before merging.
+# both point here; `make check` must pass before merging, and `make ci`
+# mirrors .github/workflows/ci.yml step for step.
 
 GO ?= go
 
-.PHONY: check fmt vet build test race verify fuzz bench
+.PHONY: check ci fmt vet build test race verify fuzz bench benchdiff benchdiff-soft
 
 check: fmt vet build test race verify fuzz
+
+# ci runs exactly what .github/workflows/ci.yml runs, in the same
+# order: the gates, the fuzz smoke, the benchmark snapshot, then the
+# regression comparison against the committed baseline. The comparison
+# is soft here as in CI (shared runners are noisy) — run `make
+# benchdiff` for the hard-failing version.
+ci: fmt vet build test race fuzz bench benchdiff-soft
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -23,7 +31,9 @@ test:
 	$(GO) test ./...
 
 # The batch driver allocates routines concurrently; the race detector
-# guards the no-shared-mutable-state contract of core.Allocate.
+# guards the no-shared-mutable-state contract of core.Allocate (and,
+# since the telemetry subsystem, the concurrent metrics registry and
+# trace recorder).
 race:
 	$(GO) test -race ./...
 
@@ -41,7 +51,16 @@ fuzz:
 
 # bench runs the go-test benchmark suite, then the batch-driver
 # benchmark, which snapshots routines/sec, parallel speedup and cache
-# hit rate into BENCH_driver.json.
+# hit rate into BENCH_driver.json (uploaded as a CI artifact).
 bench:
 	$(GO) test -bench . -benchtime 1x -run ^$$ .
 	$(GO) run ./cmd/driverbench -out BENCH_driver.json
+
+# benchdiff gates on >20% routines/sec regression of the fresh
+# BENCH_driver.json against the committed BENCH_baseline.json.
+benchdiff:
+	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json -current BENCH_driver.json
+
+benchdiff-soft:
+	@$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json -current BENCH_driver.json \
+		|| echo "benchdiff: regression reported above (soft-fail; see make benchdiff)"

@@ -1,6 +1,8 @@
 package regalloc_test
 
 import (
+	"encoding/json"
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -254,4 +256,94 @@ func TestCLIParseErrorIsLocated(t *testing.T) {
 	if !strings.Contains(stderr, "line 3") || strings.Contains(stderr, "goroutine") {
 		t.Fatalf("expected a located parse error, got: %s", stderr)
 	}
+}
+
+// -trace must produce a valid Chrome trace_event file whose spans cover
+// every pipeline pass the allocation ran and every driver unit, and
+// -metrics must dump the flat registry; neither may perturb the
+// allocated output.
+func TestCLIRallocTraceAndMetrics(t *testing.T) {
+	bin := buildCmd(t, "ralloc")
+	plain, _ := runCmd(t, bin, "", "-regs", "4", "testdata/fig1.iloc", "testdata/sumabs.iloc")
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	out, stderr := runCmd(t, bin, "", "-regs", "4", "-trace", tracePath, "-metrics",
+		"testdata/fig1.iloc", "testdata/sumabs.iloc")
+	if out != plain {
+		t.Fatalf("-trace/-metrics changed the output:\n%s\nvs\n%s", out, plain)
+	}
+
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	passes := map[string]bool{}
+	units := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		switch e.Cat {
+		case "pass":
+			passes[e.Name] = true
+		case "unit":
+			units[e.Name] = true
+		}
+	}
+	// Every unconditional pipeline pass of a converging remat run must
+	// appear (conditional passes depend on mode and spilling).
+	for _, p := range []string{"cfa", "renumber", "build", "coalesce", "costs", "simplify", "select", "rewrite"} {
+		if !passes[p] {
+			t.Fatalf("trace missing pipeline pass %q; saw %v", p, passes)
+		}
+	}
+	for _, u := range []string{"testdata/fig1.iloc", "testdata/sumabs.iloc"} {
+		if !units[u] {
+			t.Fatalf("trace missing driver unit %q; saw %v", u, units)
+		}
+	}
+
+	for _, want := range []string{"core.allocations 2", "driver.units 2", "core.pass.build.count"} {
+		if !strings.Contains(stderr, want) {
+			t.Fatalf("-metrics output missing %q:\n%s", want, stderr)
+		}
+	}
+}
+
+// benchdiff: identical reports pass, a >threshold routines/sec drop
+// fails with exit 1.
+func TestCLIBenchdiff(t *testing.T) {
+	bin := buildCmd(t, "benchdiff")
+	dir := t.TempDir()
+	report := func(scale float64) string {
+		return fmt.Sprintf(`{
+  "num_cpu": 1, "routines": 35,
+  "sequential": {"wall_ms": 10, "routines_per_sec": %g},
+  "parallel":   {"wall_ms": 9,  "routines_per_sec": %g},
+  "warm_cache": {"wall_ms": 1,  "routines_per_sec": %g}
+}`, 3000*scale, 3500*scale, 40000*scale)
+	}
+	base := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(base, []byte(report(1)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	same := filepath.Join(dir, "same.json")
+	if err := os.WriteFile(same, []byte(report(0.9)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := runCmd(t, bin, "", "-baseline", base, "-current", same)
+	if !strings.Contains(out, "benchdiff: ok") {
+		t.Fatalf("10%% drop should pass the 20%% gate:\n%s", out)
+	}
+	slow := filepath.Join(dir, "slow.json")
+	if err := os.WriteFile(slow, []byte(report(0.5)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runCmdFail(t, bin, "-baseline", base, "-current", slow)
 }

@@ -1,0 +1,116 @@
+// Command benchdiff is the benchmark-regression gate: it compares a
+// fresh driverbench report (BENCH_driver.json, written by `make bench`)
+// against the committed baseline (BENCH_baseline.json) and exits
+// nonzero when any leg's routines/sec regressed by more than the
+// threshold.
+//
+//	benchdiff [-baseline BENCH_baseline.json] [-current BENCH_driver.json]
+//	          [-threshold 20] [-github]
+//
+// CI runs it as a soft-fail annotation step (continue-on-error) because
+// shared runners are noisy; -github prints regressions in GitHub's
+// ::warning:: workflow-command format so they surface as annotations on
+// the run. Locally, `make benchdiff` runs the same comparison hard.
+//
+// Improvements are reported but never gate. A new baseline is minted by
+// copying a trusted BENCH_driver.json over BENCH_baseline.json and
+// committing it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// leg is the slice of a driverbench runMeasure the gate cares about.
+type leg struct {
+	WallMs         float64 `json:"wall_ms"`
+	RoutinesPerSec float64 `json:"routines_per_sec"`
+}
+
+// benchReport mirrors driverbench's report shape loosely: unknown
+// fields are ignored, so baseline and current may differ in schema
+// details as the tool evolves.
+type benchReport struct {
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	Routines   int    `json:"routines"`
+	Sequential leg    `json:"sequential"`
+	Parallel   leg    `json:"parallel"`
+	WarmCache  leg    `json:"warm_cache"`
+}
+
+func load(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r benchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_baseline.json", "committed baseline report")
+	current := flag.String("current", "BENCH_driver.json", "freshly measured report")
+	threshold := flag.Float64("threshold", 20, "max tolerated routines/sec regression, percent")
+	github := flag.Bool("github", false, "print regressions as GitHub ::warning:: annotations")
+	flag.Parse()
+
+	base, err := load(*baseline)
+	if err != nil {
+		fail(err)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fail(err)
+	}
+
+	if base.NumCPU != cur.NumCPU || base.Routines != cur.Routines {
+		fmt.Printf("benchdiff: note: baseline ran %d routines on %d CPU(s), current %d on %d — deltas may not be comparable\n",
+			base.Routines, base.NumCPU, cur.Routines, cur.NumCPU)
+	}
+
+	fmt.Printf("benchdiff: %s vs %s (threshold %.0f%%)\n", *current, *baseline, *threshold)
+	fmt.Printf("%-12s %15s %15s %9s\n", "leg", "base rtn/s", "cur rtn/s", "delta")
+	regressed := false
+	for _, l := range []struct {
+		name      string
+		base, cur leg
+	}{
+		{"sequential", base.Sequential, cur.Sequential},
+		{"parallel", base.Parallel, cur.Parallel},
+		{"warm_cache", base.WarmCache, cur.WarmCache},
+	} {
+		if l.base.RoutinesPerSec <= 0 {
+			fmt.Printf("%-12s %15s %15.0f %9s\n", l.name, "(none)", l.cur.RoutinesPerSec, "-")
+			continue
+		}
+		delta := 100 * (l.cur.RoutinesPerSec - l.base.RoutinesPerSec) / l.base.RoutinesPerSec
+		mark := ""
+		if -delta > *threshold {
+			regressed = true
+			mark = "  << REGRESSION"
+			if *github {
+				fmt.Printf("::warning title=Benchmark regression::%s leg: %.0f -> %.0f routines/sec (%.1f%%, threshold %.0f%%)\n",
+					l.name, l.base.RoutinesPerSec, l.cur.RoutinesPerSec, delta, *threshold)
+			}
+		}
+		fmt.Printf("%-12s %15.0f %15.0f %+8.1f%%%s\n",
+			l.name, l.base.RoutinesPerSec, l.cur.RoutinesPerSec, delta, mark)
+	}
+	if regressed {
+		fmt.Printf("benchdiff: FAIL: routines/sec regressed more than %.0f%% on at least one leg\n", *threshold)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: ok")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

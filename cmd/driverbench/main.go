@@ -1,16 +1,31 @@
 // Command driverbench seeds the performance trajectory of the batch
 // driver: it allocates the full benchmark suite through internal/driver
-// at -j 1 and -j NumCPU, then once more against a warm result cache, and
-// writes the measurements as JSON (BENCH_driver.json in CI; see `make
-// bench`).
+// sequentially and in parallel, then once more against a warm result
+// cache, and writes the measurements as JSON (BENCH_driver.json in CI;
+// see `make bench` and cmd/benchdiff for the regression gate).
 //
 //	driverbench [-out BENCH_driver.json] [-reps 3] [-mode remat] [-regs 6]
+//	            [-trace out.json] [-metrics] [-pprof addr]
+//
+// The parallel leg always requests at least two workers, even on a
+// single-CPU machine: speedup must be measured against real scheduler
+// contention, not a silently sequential "parallel" run. The report
+// records the requested and effective worker counts separately so a
+// host that clamps the pool is visible in the data.
+//
+// -pprof serves net/http/pprof and expvar on the given address
+// (e.g. localhost:6060) for profiling long batch runs; the telemetry
+// metrics registry is published as the "telemetry" expvar. -trace and
+// -metrics mirror ralloc's flags across the whole bench run.
 package main
 
 import (
 	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"time"
@@ -19,11 +34,15 @@ import (
 	"repro/internal/driver"
 	"repro/internal/suite"
 	"repro/internal/target"
+	"repro/internal/telemetry"
 )
 
-// runMeasure describes one measured configuration.
+// runMeasure describes one measured configuration. JobsRequested is
+// what the leg asked the driver for; JobsEffective is the pool size the
+// driver actually ran (it clamps to the unit count).
 type runMeasure struct {
-	Jobs           int     `json:"jobs"`
+	JobsRequested  int     `json:"jobs_requested"`
+	JobsEffective  int     `json:"jobs_effective"`
 	WallMs         float64 `json:"wall_ms"`
 	CPUMs          float64 `json:"cpu_ms"`
 	RoutinesPerSec float64 `json:"routines_per_sec"`
@@ -44,7 +63,9 @@ type report struct {
 	WarmCache  runMeasure `json:"warm_cache"`
 
 	// Speedup is parallel over sequential wall time; CacheSpeedup warm
-	// over cold parallel. On a single-CPU host Speedup hovers near 1.
+	// over cold parallel. On a single-CPU host Speedup hovers near 1 —
+	// the parallel leg still runs >= 2 workers, so it reflects real
+	// contention rather than a second sequential run.
 	Speedup      float64 `json:"speedup"`
 	CacheSpeedup float64 `json:"cache_speedup"`
 }
@@ -54,6 +75,9 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions per configuration (best wall time wins)")
 	mode := flag.String("mode", "remat", "allocator mode: remat or chaitin")
 	regs := flag.Int("regs", 6, "registers per class (6 = the calibrated pressure point)")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file covering the bench run")
+	metrics := flag.Bool("metrics", false, "dump the telemetry metrics registry to stderr after the run")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	opts := core.Options{Machine: target.WithRegs(*regs)}
@@ -66,6 +90,30 @@ func main() {
 		fail(fmt.Errorf("unknown mode %q", *mode))
 	}
 
+	// Telemetry: the registry always exists so expvar has something to
+	// publish; the tracer only when requested.
+	sink := &telemetry.Sink{Metrics: telemetry.NewRegistry()}
+	if *tracePath != "" {
+		sink.Trace = telemetry.NewTracer()
+	}
+	if *pprofAddr != "" {
+		expvar.Publish("telemetry", expvar.Func(func() any {
+			m := map[string]int64{}
+			for _, s := range sink.Metrics.Snapshot() {
+				m[s.Name] = s.Value
+			}
+			return m
+		}))
+		go func() {
+			// DefaultServeMux carries /debug/pprof/* (net/http/pprof)
+			// and /debug/vars (expvar) via their package inits.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "driverbench: pprof server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "driverbench: profiling at http://%s/debug/pprof/ (expvar at /debug/vars)\n", *pprofAddr)
+	}
+
 	// The module: every suite kernel and every callee, parsed once.
 	var units []driver.Unit
 	for _, k := range suite.All() {
@@ -73,6 +121,14 @@ func main() {
 		for i, crt := range k.CalleeRoutines() {
 			units = append(units, driver.Unit{Name: fmt.Sprintf("%s/callee%d", k.Name, i), Routine: crt})
 		}
+	}
+
+	// The parallel pool: every CPU, but never fewer than two workers —
+	// a "parallel" leg that degenerates to one worker on a single-CPU
+	// host would measure nothing.
+	par := runtime.NumCPU()
+	if par < 2 {
+		par = 2
 	}
 
 	rep := report{
@@ -87,12 +143,12 @@ func main() {
 
 	// Cold, sequential and parallel: a fresh engine (no cache) per rep,
 	// best wall time of the repetitions.
-	rep.Sequential = measureCold(units, opts, 1, *reps)
-	rep.Parallel = measureCold(units, opts, runtime.NumCPU(), *reps)
+	rep.Sequential = measureCold(units, opts, sink, 1, *reps)
+	rep.Parallel = measureCold(units, opts, sink, par, *reps)
 
 	// Warm: fill a cache once, then measure the fully cached batch.
 	cache := driver.NewCache(0)
-	warmEng := driver.New(driver.Config{Options: opts, Workers: runtime.NumCPU(), Cache: cache})
+	warmEng := driver.New(driver.Config{Options: opts, Workers: par, Cache: cache, Telemetry: sink})
 	if err := warmEng.Run(units).FirstErr(); err != nil {
 		fail(err)
 	}
@@ -106,10 +162,10 @@ func main() {
 			best = b.Stats
 		}
 	}
-	rep.WarmCache = toMeasure(best, runtime.NumCPU())
+	rep.WarmCache = toMeasure(best, par)
 	rep.WarmCache.CacheHitRate = float64(best.CacheHits) / float64(best.CacheHits+best.CacheMisses)
 
-	if rep.Sequential.WallMs > 0 {
+	if rep.Parallel.WallMs > 0 {
 		rep.Speedup = rep.Sequential.WallMs / rep.Parallel.WallMs
 	}
 	if rep.WarmCache.WallMs > 0 {
@@ -121,6 +177,23 @@ func main() {
 		fail(err)
 	}
 	text = append(text, '\n')
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fail(err)
+		}
+		if err := sink.Trace.WriteJSON(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+	if *metrics {
+		if _, err := sink.Metrics.WriteTo(os.Stderr); err != nil {
+			fail(err)
+		}
+	}
 	if *out == "-" {
 		os.Stdout.Write(text)
 		return
@@ -128,17 +201,17 @@ func main() {
 	if err := os.WriteFile(*out, text, 0o644); err != nil {
 		fail(err)
 	}
-	fmt.Printf("driverbench: %d routines, -j1 %.1fms, -j%d %.1fms (%.2fx), warm cache %.1fms (%.0f%% hits) -> %s\n",
-		rep.Routines, rep.Sequential.WallMs, rep.Parallel.Jobs, rep.Parallel.WallMs,
-		rep.Speedup, rep.WarmCache.WallMs, 100*rep.WarmCache.CacheHitRate, *out)
+	fmt.Printf("driverbench: %d routines, -j1 %.1fms, -j%d(eff %d) %.1fms (%.2fx), warm cache %.1fms (%.0f%% hits) -> %s\n",
+		rep.Routines, rep.Sequential.WallMs, rep.Parallel.JobsRequested, rep.Parallel.JobsEffective,
+		rep.Parallel.WallMs, rep.Speedup, rep.WarmCache.WallMs, 100*rep.WarmCache.CacheHitRate, *out)
 }
 
 // measureCold runs the batch with a fresh cacheless engine reps times
 // and keeps the best wall time.
-func measureCold(units []driver.Unit, opts core.Options, jobs, reps int) runMeasure {
+func measureCold(units []driver.Unit, opts core.Options, sink *telemetry.Sink, jobs, reps int) runMeasure {
 	best := driver.Stats{}
 	for r := 0; r < reps; r++ {
-		b := driver.New(driver.Config{Options: opts, Workers: jobs}).Run(units)
+		b := driver.New(driver.Config{Options: opts, Workers: jobs, Telemetry: sink}).Run(units)
 		if err := b.FirstErr(); err != nil {
 			fail(err)
 		}
@@ -149,14 +222,15 @@ func measureCold(units []driver.Unit, opts core.Options, jobs, reps int) runMeas
 	return toMeasure(best, jobs)
 }
 
-func toMeasure(st driver.Stats, jobs int) runMeasure {
+func toMeasure(st driver.Stats, requested int) runMeasure {
 	wallMs := float64(st.Wall.Microseconds()) / 1000
 	rps := 0.0
 	if st.Wall > 0 {
 		rps = float64(st.Routines) / st.Wall.Seconds()
 	}
 	return runMeasure{
-		Jobs:           jobs,
+		JobsRequested:  requested,
+		JobsEffective:  st.Workers,
 		WallMs:         wallMs,
 		CPUMs:          float64(st.CPU.Microseconds()) / 1000,
 		RoutinesPerSec: rps,

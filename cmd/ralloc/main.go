@@ -2,7 +2,8 @@
 // and prints the result.
 //
 //	ralloc [-mode remat|chaitin] [-regs N] [-split scheme] [-j N]
-//	       [-cache] [-c] [-stats] [-verify] [-strict] [file.iloc ...]
+//	       [-cache] [-c] [-stats] [-verify] [-strict]
+//	       [-trace out.json] [-metrics] [file.iloc ...]
 //
 // With no file it reads standard input; "-" names standard input
 // explicitly. Several files form a module: they are allocated
@@ -20,6 +21,13 @@
 // and additionally disables degradation: any allocator failure —
 // non-convergence, a contained panic, a verifier rejection — exits
 // nonzero instead of emitting fallback code.
+//
+// -trace out.json records every pipeline pass, allocator iteration,
+// driver unit, cache lookup, verification rule and degradation as a
+// Chrome trace_event file, loadable in chrome://tracing or Perfetto
+// (see docs/ALGORITHMS.md, "Telemetry & tracing"). -metrics dumps the
+// run's flat metrics registry (counters, gauges, timing histograms) to
+// standard error.
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 	"repro/internal/driver"
 	"repro/internal/iloc"
 	"repro/internal/target"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -45,6 +54,8 @@ func main() {
 	stats := flag.Bool("stats", false, "print allocation statistics")
 	verify := flag.Bool("verify", false, "run the post-allocation verifier on every result")
 	strict := flag.Bool("strict", false, "imply -verify and fail instead of degrading to spill-everywhere")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file covering the whole run")
+	metrics := flag.Bool("metrics", false, "dump the telemetry metrics registry to stderr after the run")
 	flag.Parse()
 
 	opts := core.Options{Machine: target.WithRegs(*regs)}
@@ -94,7 +105,35 @@ func main() {
 	if *cache {
 		cfg.Cache = driver.NewCache(0)
 	}
+	var sink *telemetry.Sink
+	if *tracePath != "" || *metrics {
+		sink = &telemetry.Sink{}
+		if *tracePath != "" {
+			sink.Trace = telemetry.NewTracer()
+		}
+		if *metrics {
+			sink.Metrics = telemetry.NewRegistry()
+		}
+		cfg.Telemetry = sink
+	}
 	batch := driver.New(cfg).Run(units)
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fail(err)
+		}
+		if err := sink.Trace.WriteJSON(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+	if *metrics {
+		if _, err := sink.Metrics.WriteTo(os.Stderr); err != nil {
+			fail(err)
+		}
+	}
 	if err := batch.FirstErr(); err != nil {
 		fail(err)
 	}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/iloc"
 	"repro/internal/remat"
 	"repro/internal/target"
+	"repro/internal/telemetry"
 	"repro/internal/verify"
 )
 
@@ -84,6 +85,13 @@ type Options struct {
 	// spill-everywhere allocation with Result.Degraded set; with this
 	// flag the failure surfaces as an *AllocError instead.
 	DisableDegradation bool
+
+	// Telemetry, when non-nil, receives metrics (core.* counters and
+	// per-pass timing histograms) and trace events (one span per
+	// allocation, iteration and pipeline pass). Telemetry never changes
+	// the allocation — it is excluded from the driver cache's option
+	// canonicalization — and a nil sink costs nothing on the hot path.
+	Telemetry *telemetry.Sink
 }
 
 func (o Options) withDefaults() Options {
@@ -98,10 +106,15 @@ func (o Options) withDefaults() Options {
 
 // Canonical returns the options as Allocate uses them, with defaults
 // applied (nil Machine becomes the standard machine, zero MaxIterations
-// the default bound). Two Options values with equal Canonical semantic
-// fields configure identical allocations — the property the driver's
-// content-addressed result cache keys on.
-func (o Options) Canonical() Options { return o.withDefaults() }
+// the default bound) and the non-semantic Telemetry sink cleared. Two
+// Options values with equal Canonical semantic fields configure
+// identical allocations — the property the driver's content-addressed
+// result cache keys on.
+func (o Options) Canonical() Options {
+	c := o.withDefaults()
+	c.Telemetry = nil
+	return c
+}
 
 // PhaseTimes records wall-clock time per allocator phase for one
 // iteration, mirroring the rows of Table 2.
@@ -222,6 +235,39 @@ func Allocate(rt *iloc.Routine, opts Options) (*Result, error) {
 	if err := iloc.Verify(rt, false); err != nil {
 		return nil, fmt.Errorf("core: input: %w", err)
 	}
+	tel := opts.Telemetry
+	sp := tel.StartSpan(telemetry.CatAlloc, rt.Name)
+	res, err := allocateOrDegrade(rt, opts)
+	if sp.Active() {
+		sp.StrArg("mode", opts.Mode.String())
+		if res != nil {
+			sp.Arg("iterations", int64(len(res.Iterations)))
+			sp.Arg("spilled", int64(res.SpilledRanges))
+			sp.Arg("remat", int64(res.RematSpills))
+			if res.Degraded {
+				sp.Arg("degraded", 1)
+			}
+		}
+		if err != nil {
+			sp.StrArg("error", err.Error())
+		}
+	}
+	sp.End()
+	tel.Count("core.allocations", 1)
+	if res != nil {
+		tel.Count("core.iterations", int64(len(res.Iterations)))
+		tel.Count("core.spilled_ranges", int64(res.SpilledRanges))
+		tel.Count("core.remat_spills", int64(res.RematSpills))
+	}
+	if err != nil {
+		tel.Count("core.failures", 1)
+	}
+	return res, err
+}
+
+// allocateOrDegrade is Allocate after validation: the iterated
+// allocator plus the spill-everywhere degradation path.
+func allocateOrDegrade(rt *iloc.Routine, opts Options) (*Result, error) {
 	res, err := allocate(rt, opts)
 	if err == nil {
 		return res, nil
@@ -247,6 +293,9 @@ func Allocate(rt *iloc.Routine, opts Options) (*Result, error) {
 	}
 	dres.Degraded = true
 	dres.DegradeReason = err.Error()
+	opts.Telemetry.Count("core.degradations", 1)
+	opts.Telemetry.Instant(telemetry.CatDegrade, rt.Name,
+		telemetry.Arg{Key: "reason", Str: dres.DegradeReason})
 	return dres, nil
 }
 
@@ -298,7 +347,8 @@ func allocate(rt *iloc.Routine, opts Options) (res *Result, err error) {
 // verifyResult runs the independent post-allocation checker against the
 // original input routine.
 func verifyResult(input *iloc.Routine, res *Result, opts Options) error {
-	return verify.Check(input, res.Routine, opts.Machine, verify.Options{Differential: true})
+	return verify.Check(input, res.Routine, opts.Machine,
+		verify.Options{Differential: true, Telemetry: opts.Telemetry})
 }
 
 // scanFrameBase finds the first fp-relative offset beyond any the routine

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cfg"
 	"repro/internal/dom"
 	"repro/internal/iloc"
+	"repro/internal/telemetry"
 )
 
 // This file turns Figure 2's allocator loop into an explicit pipeline:
@@ -64,6 +65,9 @@ type roundCtx struct {
 type Pass struct {
 	// name identifies the pass in stats output.
 	name string
+	// metric is the pass's timing-histogram name ("core.pass.<name>"),
+	// precomputed by init so the hot loop never builds strings.
+	metric string
 	// times selects the Table 2 phase row this pass's wall time accrues
 	// to, keeping the coarse PhaseTimes breakdown the experiments print.
 	times func(*PhaseTimes) *time.Duration
@@ -94,6 +98,12 @@ var allocPipeline = []*Pass{
 	passSelect,
 	passRewrite,
 	passSpillInsert,
+}
+
+func init() {
+	for _, p := range allocPipeline {
+		p.metric = "core.pass." + p.name
+	}
 }
 
 // PassNames lists the pipeline's passes in execution order (conditional
@@ -321,27 +331,69 @@ var passSpillInsert = &Pass{
 // round drives one trip through the pipeline. done is true when select
 // colored every live range and the code has been rewritten to physical
 // colors.
+//
+// Telemetry: each executed pass runs inside a telemetry span — the
+// span's clock is the PassStat timing source, so the trace, the metrics
+// histograms and the -stats table can never disagree — and the whole
+// round is wrapped in an iteration span. With no sink installed the
+// spans are zero-allocation no-ops that still read the clock.
 func (a *allocator) round() (IterationStats, bool, error) {
 	var st IterationStats
 	ctx := &roundCtx{}
+	tel := a.opts.Telemetry
+	iterSpan := tel.StartSpan(telemetry.CatIteration, "iteration")
+	iterSpan.Arg("iteration", int64(a.roundNo))
 	for _, p := range allocPipeline {
 		if p.when != nil && !p.when(a, ctx) {
 			continue
 		}
 		ps := PassStat{Name: p.name}
-		t0 := time.Now()
+		sp := tel.StartSpan(telemetry.CatPass, p.name)
 		err := a.runPass(p, ctx, &st, &ps)
-		ps.Time = time.Since(t0)
+		ps.Time = endPassSpan(&sp, &ps)
+		if tel.Enabled() {
+			tel.Observe(p.metric, ps.Time.Nanoseconds())
+		}
 		*p.times(&st.Times) += ps.Time
 		st.Passes = append(st.Passes, ps)
 		if err != nil {
+			iterSpan.End()
 			return st, false, err
 		}
 		if ctx.stop || ctx.done {
 			break
 		}
 	}
+	iterSpan.End()
 	return st, ctx.done, nil
+}
+
+// endPassSpan annotates the span with the pass's recorded effect (only
+// the fields the pass actually touched, keeping traces compact) and
+// ends it, returning the measured wall time. When no tracer is
+// attached every Arg call is a no-op and only the clock is read.
+func endPassSpan(sp *telemetry.Span, ps *PassStat) time.Duration {
+	if sp.Active() {
+		if ps.Nodes != 0 {
+			sp.Arg("nodes", int64(ps.Nodes))
+		}
+		if ps.Edges != 0 {
+			sp.Arg("edges", int64(ps.Edges))
+		}
+		if ps.Coalesced != 0 {
+			sp.Arg("coalesced", int64(ps.Coalesced))
+		}
+		if ps.Splits != 0 {
+			sp.Arg("splits", int64(ps.Splits))
+		}
+		if ps.Spilled != 0 {
+			sp.Arg("spilled", int64(ps.Spilled))
+		}
+		if ps.Remat != 0 {
+			sp.Arg("remat", int64(ps.Remat))
+		}
+	}
+	return sp.End()
 }
 
 // runPass executes one pipeline pass with panic containment: a panic

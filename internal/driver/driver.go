@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/iloc"
+	"repro/internal/telemetry"
 )
 
 // Unit is one routine of a batch. Options, when non-nil, override the
@@ -45,6 +46,14 @@ type Config struct {
 	// Cache, when non-nil, is consulted before and filled after each
 	// allocation. Sharing one cache across engines and runs is safe.
 	Cache *Cache
+	// Telemetry, when non-nil, receives driver.* metrics (unit/failure/
+	// degradation counters, cache traffic, a queue-depth gauge and a
+	// queue-wait histogram) and trace events: one span per batch, one
+	// span per unit on its worker's trace thread, and a cache hit/miss
+	// instant per lookup. Each pool worker gets tid w+1 (tid 0 stays
+	// the caller's), and the sink is threaded into every unit's
+	// core.Options so allocator pass spans nest under the unit span.
+	Telemetry *telemetry.Sink
 }
 
 // UnitResult is the outcome of one unit. Exactly one of Result and Err
@@ -183,6 +192,17 @@ func (e *Engine) Run(units []Unit) *Batch {
 		Results: make([]UnitResult, len(units)),
 		Stats:   Stats{Routines: len(units), Workers: workers, PerWorker: make([]WorkerStats, workers)},
 	}
+	tel := e.cfg.Telemetry
+	if tel != nil && tel.Trace != nil {
+		for w := 0; w < workers; w++ {
+			tel.Trace.SetThreadName(int64(w+1), fmt.Sprintf("worker %d", w))
+		}
+	}
+	batchSpan := tel.StartSpan(telemetry.CatDriver, "batch")
+	// Queue depth counts submitted-but-not-picked-up units; queue wait
+	// is the latency from batch start to a unit's pickup by a worker.
+	depth := tel.Gauge("driver.queue.depth")
+	depth.Set(int64(len(units)))
 	start := time.Now()
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -190,16 +210,32 @@ func (e *Engine) Run(units []Unit) *Batch {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
+			wsink := tel.WithTID(int64(worker + 1))
 			for i := range jobs {
-				t0 := time.Now()
-				res, hit, err := e.allocate(units[i])
+				depth.Add(-1)
+				wsink.Observe("driver.queue.wait", time.Since(start).Nanoseconds())
+				sp := wsink.StartSpan(telemetry.CatUnit, units[i].Name)
+				res, hit, err := e.allocate(units[i], wsink)
+				if sp.Active() {
+					if hit {
+						sp.Arg("cache_hit", 1)
+					}
+					if err != nil {
+						sp.Arg("failed", 1)
+					}
+					if res != nil && res.Degraded {
+						sp.Arg("degraded", 1)
+					}
+				}
+				wall := sp.End()
+				wsink.Observe("driver.unit.wall", wall.Nanoseconds())
 				b.Results[i] = UnitResult{
 					Name:     units[i].Name,
 					Result:   res,
 					Err:      err,
 					CacheHit: hit,
 					Worker:   worker,
-					Wall:     time.Since(t0),
+					Wall:     wall,
 				}
 			}
 		}(w)
@@ -230,6 +266,23 @@ func (e *Engine) Run(units []Unit) *Batch {
 				fmt.Sprintf("%s: %s", r.Name, r.Result.DegradeReason))
 		}
 	}
+	if batchSpan.Active() {
+		batchSpan.Arg("routines", int64(b.Stats.Routines))
+		batchSpan.Arg("workers", int64(b.Stats.Workers))
+		if b.Stats.Failed != 0 {
+			batchSpan.Arg("failed", int64(b.Stats.Failed))
+		}
+		if b.Stats.Degraded != 0 {
+			batchSpan.Arg("degraded", int64(b.Stats.Degraded))
+		}
+	}
+	batchSpan.End()
+	tel.Count("driver.batches", 1)
+	tel.Count("driver.units", int64(b.Stats.Routines))
+	tel.Count("driver.failures", int64(b.Stats.Failed))
+	tel.Count("driver.degradations", int64(b.Stats.Degraded))
+	tel.Count("driver.cache.hits", int64(b.Stats.CacheHits))
+	tel.Count("driver.cache.misses", int64(b.Stats.CacheMisses))
 	return b
 }
 
@@ -239,21 +292,27 @@ func (e *Engine) Run(units []Unit) *Batch {
 // a worker goroutine that panics would kill the whole process. Any panic
 // escaping a unit is recovered into a *core.AllocError so it fails that
 // unit alone.
-func (e *Engine) allocate(u Unit) (res *core.Result, hit bool, err error) {
+func (e *Engine) allocate(u Unit, wsink *telemetry.Sink) (res *core.Result, hit bool, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, hit = nil, false
 			err = &core.AllocError{Routine: u.Name, Err: fmt.Errorf("driver: panic in worker: %v", r)}
 		}
 	}()
-	return e.allocateUnit(u)
+	return e.allocateUnit(u, wsink)
 }
 
 // allocateUnit handles one unit: cache lookup, allocation, cache fill.
-func (e *Engine) allocateUnit(u Unit) (*core.Result, bool, error) {
+// The worker's sink overrides the options' own so that allocator spans
+// land on the worker's trace thread; Telemetry is excluded from the
+// cache key, so this cannot split cache entries.
+func (e *Engine) allocateUnit(u Unit, wsink *telemetry.Sink) (*core.Result, bool, error) {
 	opts := e.cfg.Options
 	if u.Options != nil {
 		opts = *u.Options
+	}
+	if wsink != nil {
+		opts.Telemetry = wsink
 	}
 	if u.Routine == nil {
 		return nil, false, fmt.Errorf("driver: unit has no routine")
@@ -264,8 +323,10 @@ func (e *Engine) allocateUnit(u Unit) (*core.Result, bool, error) {
 	}
 	key := KeyFor(u.Routine, opts)
 	if res, ok := e.cfg.Cache.Get(key); ok {
+		wsink.Instant(telemetry.CatCache, "hit")
 		return res, true, nil
 	}
+	wsink.Instant(telemetry.CatCache, "miss")
 	res, err := core.Allocate(u.Routine, opts)
 	if err != nil {
 		return nil, false, err

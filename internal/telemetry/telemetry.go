@@ -1,0 +1,344 @@
+// Package telemetry is the allocator's observability layer: a
+// dependency-free metrics registry (counters, gauges, nanosecond timing
+// histograms) and a structured trace recorder whose events export as
+// Chrome trace_event JSON (chrome://tracing, Perfetto).
+//
+// The design constraint is that telemetry must be free when it is off.
+// Every producer-side entry point — Sink methods, Span methods, Counter/
+// Gauge/Histogram methods — is nil-guarded: a nil *Sink (or a Sink with
+// the relevant half unset) turns the whole instrumentation surface into
+// no-ops that perform zero heap allocations, so the allocator's hot
+// paths carry their hooks unconditionally. The package imports only the
+// standard library, and nothing outside it; consumers (HTTP serving,
+// expvar, file output) live in the cmd/ binaries.
+//
+// Producers hold a *Sink, which couples the two halves:
+//
+//	sink := &telemetry.Sink{Metrics: telemetry.NewRegistry(), Trace: telemetry.NewTracer()}
+//	sp := sink.StartSpan(telemetry.CatPass, "build")
+//	... work ...
+//	sp.Arg("nodes", int64(n))
+//	elapsed := sp.End() // records a complete trace event, returns the duration
+//
+// StartSpan always captures the clock, so callers reuse the returned
+// duration for their own bookkeeping whether or not a tracer is
+// installed — the span is the timing source, not a parallel one.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Standard event categories. Producers across the codebase agree on
+// these so one trace or metrics dump tells a coherent story.
+const (
+	CatAlloc     = "alloc"     // one core.Allocate call
+	CatIteration = "iteration" // one round of the spill/color loop
+	CatPass      = "pass"      // one pipeline pass within an iteration
+	CatDriver    = "driver"    // batch-engine scaffolding (batch span)
+	CatUnit      = "unit"      // one driver unit (routine) on a worker
+	CatCache     = "cache"     // result-cache hit/miss instants
+	CatVerify    = "verify"    // one post-allocation checker rule
+	CatDegrade   = "degrade"   // spill-everywhere degradation instants
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready
+// to use; all methods are safe for concurrent use and are no-ops on a
+// nil receiver.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (no-op on a nil receiver).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a set-or-adjust metric (queue depth, pool size). The zero
+// value is ready; methods are concurrency-safe and nil-safe.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adjusts the gauge by n (negative to decrement).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is one bucket per bit length of the observed value, so
+// bucket i counts observations in [2^(i-1), 2^i). Nanosecond timings
+// span ~2ns to minutes in 64 buckets with ~2x resolution — coarse, but
+// allocation- and lock-free on the observe path.
+const histBuckets = 64
+
+// Histogram accumulates a distribution of int64 observations
+// (conventionally nanoseconds). The zero value is ready; methods are
+// concurrency-safe and nil-safe. minPlus1 stores min+1 so that 0 can
+// mean "no observation yet" without a constructor; observed values are
+// clamped nonnegative, so max's zero value needs no such encoding.
+type Histogram struct {
+	count    atomic.Int64
+	sum      atomic.Int64
+	minPlus1 atomic.Int64
+	max      atomic.Int64
+	buckets  [histBuckets]atomic.Int64
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		old := h.minPlus1.Load()
+		if old != 0 && old-1 <= v {
+			break
+		}
+		if h.minPlus1.CompareAndSwap(old, v+1) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if old >= v {
+			break
+		}
+		if h.max.CompareAndSwap(old, v) {
+			break
+		}
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Count, Sum, Min, Max int64
+	Buckets              [histBuckets]int64
+}
+
+// Mean returns the arithmetic mean, or 0 before any observation.
+func (s HistogramSnapshot) Mean() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / s.Count
+}
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) from the
+// power-of-two buckets: it walks to the bucket holding the rank and
+// returns that bucket's upper bound, so the estimate is within 2x.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(s.Count-1))
+	var seen int64
+	for i, n := range s.Buckets {
+		seen += n
+		if seen > rank {
+			if i == 0 {
+				return 0
+			}
+			if i >= 63 {
+				return s.Max
+			}
+			return int64(1) << uint(i) // upper bound of [2^(i-1), 2^i)
+		}
+	}
+	return s.Max
+}
+
+// Snapshot copies the histogram's state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	if m := h.minPlus1.Load(); m > 0 {
+		s.Min = m - 1
+	}
+	s.Max = h.max.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Registry is a named collection of metrics. Get-or-create lookups take
+// a mutex; the returned metric pointers are lock-free, so hot paths
+// resolve once and hold the pointer. All methods are nil-safe.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil (a usable no-op) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[name]; h == nil {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Metric is one line of a registry dump.
+type Metric struct {
+	Name  string
+	Value int64
+}
+
+// Snapshot flattens the registry into sorted name/value pairs. Counters
+// and gauges contribute one line; each histogram expands into count,
+// sum, min, max, mean and estimated p50/p90/p99 lines (suffixes after
+// the histogram's name).
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []Metric
+	for name, c := range r.counters {
+		out = append(out, Metric{name, c.Value()})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Metric{name, g.Value()})
+	}
+	for name, h := range r.histograms {
+		s := h.Snapshot()
+		out = append(out,
+			Metric{name + ".count", s.Count},
+			Metric{name + ".sum", s.Sum},
+			Metric{name + ".min", s.Min},
+			Metric{name + ".max", s.Max},
+			Metric{name + ".mean", s.Mean()},
+			Metric{name + ".p50", s.Quantile(0.50)},
+			Metric{name + ".p90", s.Quantile(0.90)},
+			Metric{name + ".p99", s.Quantile(0.99)},
+		)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteTo dumps the registry as flat "name value" lines, sorted by
+// name — the `-metrics` output format.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	for _, m := range r.Snapshot() {
+		k, err := fmt.Fprintf(w, "%s %d\n", m.Name, m.Value)
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

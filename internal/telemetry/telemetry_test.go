@@ -1,0 +1,211 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("core.allocations")
+	c.Inc()
+	c.Add(2)
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	if r.Counter("core.allocations") != c {
+		t.Fatal("second lookup returned a different counter")
+	}
+	g := r.Gauge("driver.queue.depth")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{100, 200, 400, 800, 3} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if s.Sum != 1503 {
+		t.Fatalf("sum = %d, want 1503", s.Sum)
+	}
+	if s.Min != 3 || s.Max != 800 {
+		t.Fatalf("min/max = %d/%d, want 3/800", s.Min, s.Max)
+	}
+	if s.Mean() != 300 {
+		t.Fatalf("mean = %d, want 300", s.Mean())
+	}
+	// Bucket quantiles are upper bounds within 2x of the true value.
+	if q := s.Quantile(0.5); q < 200 || q > 512 {
+		t.Fatalf("p50 = %d, want within [200, 512]", q)
+	}
+	if q := s.Quantile(1.0); q < 800 || q > 1024 {
+		t.Fatalf("p100 = %d, want within [800, 1024]", q)
+	}
+}
+
+func TestHistogramZeroAndNegative(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(-5) // clamps to 0
+	s := h.Snapshot()
+	if s.Count != 2 || s.Min != 0 || s.Max != 0 || s.Sum != 0 {
+		t.Fatalf("snapshot = %+v, want two zero observations", s)
+	}
+	if q := s.Quantile(0.99); q != 0 {
+		t.Fatalf("p99 = %d, want 0", q)
+	}
+}
+
+func TestSnapshotSortedAndWriteTo(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(2)
+	r.Counter("a.count").Add(1)
+	r.Gauge("c.gauge").Set(5)
+	r.Histogram("d.wait").Observe(7)
+	snap := r.Snapshot()
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Name >= snap[i].Name {
+			t.Fatalf("snapshot not sorted: %q before %q", snap[i-1].Name, snap[i].Name)
+		}
+	}
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"a.count 1\n", "b.count 2\n", "c.gauge 5\n", "d.wait.count 1\n", "d.wait.sum 7\n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestNilSafety: the whole producer surface must be callable through
+// nil receivers — that is the "telemetry off" mode.
+func TestNilSafety(t *testing.T) {
+	var s *Sink
+	var r *Registry
+	var tr *Tracer
+	s.Count("x", 1)
+	s.Observe("x", 1)
+	s.Gauge("x").Add(1)
+	s.Instant(CatAlloc, "x")
+	if s.WithTID(3) != nil {
+		t.Fatal("nil sink WithTID should stay nil")
+	}
+	if s.Enabled() {
+		t.Fatal("nil sink reports enabled")
+	}
+	sp := s.StartSpan(CatPass, "build")
+	sp.Arg("n", 1)
+	if sp.Active() {
+		t.Fatal("span active without tracer")
+	}
+	if d := sp.End(); d < 0 {
+		t.Fatal("negative duration")
+	}
+	r.Counter("x").Inc()
+	r.Gauge("x").Set(1)
+	r.Histogram("x").Observe(1)
+	if got := r.Snapshot(); got != nil {
+		t.Fatalf("nil registry snapshot = %v", got)
+	}
+	tr.Instant("c", "n", 0)
+	tr.SetThreadName(0, "w")
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer recorded something")
+	}
+}
+
+// TestDisabledPathAllocsZero proves the hot-path contract: with no sink
+// installed, the exact hook sequence the pipeline runs per pass — open
+// a span, annotate it, end it, bump counters, observe a histogram —
+// performs zero heap allocations.
+func TestDisabledPathAllocsZero(t *testing.T) {
+	var s *Sink
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := s.StartSpan(CatPass, "build")
+		sp.Arg("nodes", 42)
+		sp.Arg("edges", 99)
+		_ = sp.End()
+		s.Count("core.iterations", 1)
+		s.Observe("core.pass.build", 123)
+		s.Gauge("driver.queue.depth").Add(-1)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled telemetry hooks allocate %.1f times per run, want 0", allocs)
+	}
+}
+
+// A metrics-only sink must also keep the per-observation path free of
+// allocations once the metric exists (span args are tracer-gated).
+func TestMetricsOnlyObserveAllocsZero(t *testing.T) {
+	s := &Sink{Metrics: NewRegistry()}
+	s.Count("c", 1) // create before measuring
+	s.Observe("h", 1)
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Count("c", 1)
+		s.Observe("h", 123)
+	})
+	if allocs != 0 {
+		t.Fatalf("metrics-only hooks allocate %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestRegistryConcurrent exercises get-or-create races and concurrent
+// updates; run under -race this is the registry's safety proof.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("shared.count").Inc()
+				r.Gauge("shared.gauge").Add(1)
+				r.Histogram("shared.hist").Observe(int64(j))
+			}
+			_ = r.Snapshot()
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared.count").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Gauge("shared.gauge").Value(); got != 8000 {
+		t.Fatalf("gauge = %d, want 8000", got)
+	}
+	if got := r.Histogram("shared.hist").Snapshot(); got.Count != 8000 || got.Min != 0 || got.Max != 999 {
+		t.Fatalf("hist = %+v, want count 8000 min 0 max 999", got)
+	}
+}
+
+func BenchmarkSpanDisabled(b *testing.B) {
+	var s *Sink
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := s.StartSpan(CatPass, "build")
+		sp.Arg("nodes", 42)
+		_ = sp.End()
+	}
+}
+
+func BenchmarkSpanEnabled(b *testing.B) {
+	s := &Sink{Trace: NewTracer()}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := s.StartSpan(CatPass, "build")
+		sp.Arg("nodes", 42)
+		_ = sp.End()
+	}
+}

@@ -1,0 +1,291 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Phase bytes of recorded events, a subset of the Chrome trace_event
+// phases: complete spans, instants, and metadata.
+const (
+	PhaseComplete = 'X'
+	PhaseInstant  = 'i'
+	PhaseMetadata = 'M'
+)
+
+// Arg is one key/value annotation on an event. When Str is non-empty
+// the value is the string; otherwise it is Val.
+type Arg struct {
+	Key string
+	Str string
+	Val int64
+}
+
+// Event is one recorded trace event. TS is the offset from the tracer's
+// epoch; Dur is meaningful only for complete spans.
+type Event struct {
+	Name  string
+	Cat   string
+	Phase byte
+	TS    time.Duration
+	Dur   time.Duration
+	TID   int64
+	Args  []Arg
+}
+
+// Tracer records events in memory for export at the end of the run.
+// All methods are safe for concurrent use and nil-safe; a nil *Tracer
+// records nothing.
+type Tracer struct {
+	epoch time.Time
+
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewTracer returns a tracer whose epoch (trace time zero) is now.
+func NewTracer() *Tracer {
+	return &Tracer{epoch: time.Now()}
+}
+
+func (t *Tracer) add(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Instant records a zero-duration marker event.
+func (t *Tracer) Instant(cat, name string, tid int64, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.add(Event{Name: name, Cat: cat, Phase: PhaseInstant, TS: time.Since(t.epoch), TID: tid, Args: args})
+}
+
+// SetThreadName labels a tid in trace viewers ("worker 3"). Emit once
+// per tid; viewers use the last metadata event.
+func (t *Tracer) SetThreadName(tid int64, name string) {
+	if t == nil {
+		return
+	}
+	t.add(Event{Name: "thread_name", Phase: PhaseMetadata, TID: tid, Args: []Arg{{Key: "name", Str: name}}})
+}
+
+// Events snapshots the recorded events in recording order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// jsonEvent is the Chrome trace_event wire form of one event. ts and
+// dur are microseconds (fractional, so nanosecond precision survives).
+type jsonEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type jsonTrace struct {
+	TraceEvents     []jsonEvent       `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// WriteJSON exports the trace in Chrome trace_event JSON object format,
+// loadable by chrome://tracing and https://ui.perfetto.dev. The export
+// is a cold path: it allocates freely.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	events := t.Events()
+	out := jsonTrace{
+		TraceEvents:     make([]jsonEvent, 0, len(events)+1),
+		DisplayTimeUnit: "ns",
+		OtherData:       map[string]string{"tool": "repro/internal/telemetry"},
+	}
+	out.TraceEvents = append(out.TraceEvents, jsonEvent{
+		Name: "process_name", Ph: string(PhaseMetadata), Pid: 1,
+		Args: map[string]any{"name": "regalloc"},
+	})
+	for _, e := range events {
+		je := jsonEvent{
+			Name: e.Name,
+			Cat:  e.Cat,
+			Ph:   string(e.Phase),
+			TS:   float64(e.TS) / 1e3,
+			Pid:  1,
+			Tid:  e.TID,
+		}
+		if e.Phase == PhaseComplete {
+			je.Dur = float64(e.Dur) / 1e3
+		}
+		if e.Phase == PhaseInstant {
+			je.S = "t"
+		}
+		if len(e.Args) > 0 {
+			je.Args = make(map[string]any, len(e.Args))
+			for _, a := range e.Args {
+				if a.Str != "" {
+					je.Args[a.Key] = a.Str
+				} else {
+					je.Args[a.Key] = a.Val
+				}
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, je)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// Sink couples the two telemetry halves and stamps a thread id on the
+// spans and instants recorded through it. Producers accept a *Sink and
+// treat nil as "telemetry off": every method below is a zero-allocation
+// no-op on a nil receiver (variadic Instant args excepted, which is why
+// instants appear only on cold paths).
+type Sink struct {
+	Metrics *Registry
+	Trace   *Tracer
+	// TID is the Chrome trace "thread" spans from this sink land on.
+	// The driver gives each pool worker its own tid; single-routine
+	// tools leave it 0.
+	TID int64
+}
+
+// WithTID returns a sink identical to s but stamping tid; nil stays
+// nil. The halves are shared, so metrics and events still aggregate
+// into the same registry and tracer.
+func (s *Sink) WithTID(tid int64) *Sink {
+	if s == nil {
+		return nil
+	}
+	c := *s
+	c.TID = tid
+	return &c
+}
+
+// Enabled reports whether any telemetry is attached.
+func (s *Sink) Enabled() bool {
+	return s != nil && (s.Metrics != nil || s.Trace != nil)
+}
+
+// Count adds n to the named counter (no-op without a registry).
+func (s *Sink) Count(name string, n int64) {
+	if s == nil || s.Metrics == nil {
+		return
+	}
+	s.Metrics.Counter(name).Add(n)
+}
+
+// Gauge returns the named gauge, nil (usable as a no-op) without a
+// registry.
+func (s *Sink) Gauge(name string) *Gauge {
+	if s == nil || s.Metrics == nil {
+		return nil
+	}
+	return s.Metrics.Gauge(name)
+}
+
+// Observe records v into the named histogram.
+func (s *Sink) Observe(name string, v int64) {
+	if s == nil || s.Metrics == nil {
+		return
+	}
+	s.Metrics.Histogram(name).Observe(v)
+}
+
+// Instant records a marker event (no-op without a tracer). Cold paths
+// only: building the variadic args may allocate even when disabled.
+func (s *Sink) Instant(cat, name string, args ...Arg) {
+	if s == nil || s.Trace == nil {
+		return
+	}
+	s.Trace.add(Event{Name: name, Cat: cat, Phase: PhaseInstant, TS: time.Since(s.Trace.epoch), TID: s.TID, Args: args})
+}
+
+// Span is one timed region in flight. It is a value type: StartSpan
+// and the methods below allocate nothing until End runs with a tracer
+// attached, so spans can wrap the hottest loops unconditionally.
+type Span struct {
+	tr    *Tracer
+	name  string
+	cat   string
+	tid   int64
+	start time.Time
+	args  []Arg
+}
+
+// StartSpan opens a span. The clock is captured whether or not a
+// tracer is installed, so End's returned duration is always valid and
+// callers use the span as their only timer.
+func (s *Sink) StartSpan(cat, name string) Span {
+	sp := Span{start: time.Now(), cat: cat, name: name}
+	if s != nil && s.Trace != nil {
+		sp.tr = s.Trace
+		sp.tid = s.TID
+	}
+	return sp
+}
+
+// Active reports whether ending the span will record an event — the
+// gate for arg computation that is itself expensive.
+func (sp *Span) Active() bool { return sp.tr != nil }
+
+// Arg annotates the span with an integer value; no-op (and no
+// allocation) when no tracer is attached.
+func (sp *Span) Arg(key string, val int64) {
+	if sp.tr == nil {
+		return
+	}
+	sp.args = append(sp.args, Arg{Key: key, Val: val})
+}
+
+// StrArg annotates the span with a string value.
+func (sp *Span) StrArg(key, val string) {
+	if sp.tr == nil {
+		return
+	}
+	sp.args = append(sp.args, Arg{Key: key, Str: val})
+}
+
+// End closes the span, records it as a complete event when a tracer is
+// attached, and returns the measured duration.
+func (sp *Span) End() time.Duration {
+	d := time.Since(sp.start)
+	if sp.tr != nil {
+		sp.tr.add(Event{
+			Name:  sp.name,
+			Cat:   sp.cat,
+			Phase: PhaseComplete,
+			TS:    sp.start.Sub(sp.tr.epoch),
+			Dur:   d,
+			TID:   sp.tid,
+			Args:  sp.args,
+		})
+	}
+	return d
+}

@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerRecordsSpansAndInstants(t *testing.T) {
+	tr := NewTracer()
+	s := &Sink{Trace: tr, TID: 2}
+	sp := s.StartSpan(CatPass, "build")
+	if !sp.Active() {
+		t.Fatal("span inactive with tracer installed")
+	}
+	sp.Arg("nodes", 7)
+	sp.StrArg("mode", "remat")
+	time.Sleep(time.Microsecond)
+	d := sp.End()
+	if d <= 0 {
+		t.Fatalf("duration = %v, want > 0", d)
+	}
+	s.Instant(CatDegrade, "degrade", Arg{Key: "reason", Str: "panic"})
+	tr.SetThreadName(2, "worker 2")
+
+	events := tr.Events()
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	e := events[0]
+	if e.Name != "build" || e.Cat != CatPass || e.Phase != PhaseComplete || e.TID != 2 {
+		t.Fatalf("span event = %+v", e)
+	}
+	if e.Dur != d {
+		t.Fatalf("event dur %v != returned %v", e.Dur, d)
+	}
+	if len(e.Args) != 2 || e.Args[0].Val != 7 || e.Args[1].Str != "remat" {
+		t.Fatalf("span args = %+v", e.Args)
+	}
+	if events[1].Phase != PhaseInstant || events[2].Phase != PhaseMetadata {
+		t.Fatalf("phases = %c %c", events[1].Phase, events[2].Phase)
+	}
+}
+
+// TestWriteJSONValid: the export must be well-formed JSON in the Chrome
+// trace_event object format — an object with a traceEvents array whose
+// entries carry name/ph/ts/pid/tid.
+func TestWriteJSONValid(t *testing.T) {
+	tr := NewTracer()
+	s := &Sink{Trace: tr}
+	sp := s.StartSpan(CatAlloc, "sumabs")
+	sp.Arg("iterations", 3)
+	sp.End()
+	s.Instant(CatCache, "hit")
+	tr.SetThreadName(0, "main")
+
+	var b strings.Builder
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, b.String())
+	}
+	if doc.Unit != "ns" {
+		t.Fatalf("displayTimeUnit = %q", doc.Unit)
+	}
+	// process_name metadata + 3 recorded events.
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 4", len(doc.TraceEvents))
+	}
+	var sawSpan bool
+	for _, e := range doc.TraceEvents {
+		for _, key := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := e[key]; !ok {
+				t.Fatalf("event missing %q: %v", key, e)
+			}
+		}
+		if e["ph"] == "X" {
+			sawSpan = true
+			if e["name"] != "sumabs" || e["cat"] != CatAlloc {
+				t.Fatalf("span event = %v", e)
+			}
+			if args, ok := e["args"].(map[string]any); !ok || args["iterations"] != float64(3) {
+				t.Fatalf("span args = %v", e["args"])
+			}
+		}
+	}
+	if !sawSpan {
+		t.Fatal("no complete span in export")
+	}
+}
+
+// TestTracerConcurrent: workers record into one tracer; under -race
+// this is the trace layer's safety proof.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := (&Sink{Trace: tr}).WithTID(int64(w))
+			for j := 0; j < 200; j++ {
+				sp := s.StartSpan(CatUnit, "unit")
+				sp.Arg("j", int64(j))
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tr.Len(); got != 1600 {
+		t.Fatalf("recorded %d events, want 1600", got)
+	}
+	var b strings.Builder
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid([]byte(b.String())) {
+		t.Fatal("concurrent export is not valid JSON")
+	}
+}

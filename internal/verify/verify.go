@@ -40,6 +40,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/liveness"
 	"repro/internal/target"
+	"repro/internal/telemetry"
 )
 
 // Options tunes a check.
@@ -49,6 +50,9 @@ type Options struct {
 	Differential bool
 	// MaxSteps bounds each differential execution (default 2 million).
 	MaxSteps int64
+	// Telemetry, when non-nil, receives one span per rule (category
+	// "verify") and verify.* counters. A nil sink costs nothing.
+	Telemetry *telemetry.Sink
 }
 
 func (o Options) withDefaults() Options {
@@ -104,17 +108,38 @@ func (c *checker) flag(rule, format string, args ...any) {
 // violation otherwise.
 func Check(input, allocated *iloc.Routine, m *target.Machine, opts Options) error {
 	c := &checker{m: m, input: input, allocated: allocated, opts: opts.withDefaults()}
+	tel := c.opts.Telemetry
+	tel.Count("verify.checks", 1)
+	err := c.run()
+	tel.Count("verify.violations", int64(len(c.violations)))
+	if err != nil {
+		tel.Count("verify.rejections", 1)
+	}
+	return err
+}
 
+// run executes the rules in order, timing each under a telemetry span
+// so long batch runs show where verification time goes.
+func (c *checker) run() error {
 	// Structural soundness gates everything else: the later rules assume
 	// well-formed blocks, operands of the right class, and no φ-nodes.
-	if err := iloc.Verify(allocated, false); err != nil {
-		c.flag("structure", "%v", err)
+	// (A missing Allocated mark is flagged but does not gate — the code
+	// itself is still well-formed enough for the dataflow rules.)
+	wellFormed := true
+	c.rule("structure", func() {
+		if err := iloc.Verify(c.allocated, false); err != nil {
+			c.flag("structure", "%v", err)
+			wellFormed = false
+			return
+		}
+		if !c.allocated.Allocated {
+			c.flag("structure", "routine is not marked allocated")
+		}
+	})
+	if !wellFormed {
 		return c.err()
 	}
-	if !allocated.Allocated {
-		c.flag("structure", "routine is not marked allocated")
-	}
-	c.checkBounds()
+	c.rule("bounds", c.checkBounds)
 	if len(c.violations) > 0 {
 		// Out-of-bank registers would index liveness sets out of range.
 		return c.err()
@@ -122,19 +147,33 @@ func Check(input, allocated *iloc.Routine, m *target.Machine, opts Options) erro
 
 	// The dataflow rules need CFG edges; cfg.Build prunes unreachable
 	// blocks, so run it on a clone to leave the caller's routine alone.
-	rt := allocated.Clone()
+	rt := c.allocated.Clone()
 	if err := cfg.Build(rt); err != nil {
 		c.flag("structure", "CFG: %v", err)
 		return c.err()
 	}
-	c.checkUseBeforeDef(rt)
-	c.checkCallerSave(rt)
-	c.checkSpillSlots(rt)
-	c.checkRemat()
+	c.rule("use-before-def", func() { c.checkUseBeforeDef(rt) })
+	c.rule("caller-save", func() { c.checkCallerSave(rt) })
+	c.rule("spill-slots", func() { c.checkSpillSlots(rt) })
+	c.rule("remat", c.checkRemat)
 	if c.opts.Differential && len(c.violations) == 0 {
-		c.checkDifferential()
+		c.rule("differential", c.checkDifferential)
 	}
 	return c.err()
+}
+
+// rule runs one named check under a telemetry span, recording how many
+// violations it added; it returns true when the rule passed clean.
+func (c *checker) rule(name string, f func()) bool {
+	before := len(c.violations)
+	sp := c.opts.Telemetry.StartSpan(telemetry.CatVerify, name)
+	f()
+	added := len(c.violations) - before
+	if added != 0 {
+		sp.Arg("violations", int64(added))
+	}
+	sp.End()
+	return added == 0
 }
 
 func (c *checker) err() error {

@@ -35,6 +35,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/suite"
 	"repro/internal/target"
+	"repro/internal/telemetry"
 	"repro/internal/verify"
 )
 
@@ -186,6 +187,27 @@ func NewResultCache(capacity int) *ResultCache { return driver.NewCache(capacity
 func AllocateBatch(units []DriverUnit, cfg DriverConfig) *DriverBatch {
 	return driver.Allocate(units, cfg)
 }
+
+// Telemetry types (internal/telemetry): a TelemetrySink carries an
+// optional metrics registry and an optional trace recorder; set it on
+// Options.Telemetry or DriverConfig.Telemetry to observe a run. A nil
+// sink (the default) costs nothing. Tracer.WriteJSON emits the Chrome
+// trace_event format (chrome://tracing, Perfetto); Registry.WriteTo the
+// flat "name value" metrics dump. See "Telemetry & tracing" in
+// docs/ALGORITHMS.md.
+type (
+	TelemetrySink   = telemetry.Sink
+	MetricsRegistry = telemetry.Registry
+	Tracer          = telemetry.Tracer
+)
+
+// NewMetricsRegistry builds an empty, concurrency-safe registry of
+// named counters, gauges and timing histograms.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// NewTracer builds an empty trace recorder; events are timestamped
+// relative to this call.
+func NewTracer() *Tracer { return telemetry.NewTracer() }
 
 // NewEnv builds an execution environment for a routine (frame + static
 // data). Use Env.Alloc/SetInt/SetFloat to stage inputs, then Env.Run.
