@@ -4,16 +4,16 @@
 
 GO ?= go
 
-.PHONY: check ci fmt vet build test race verify fuzz bench benchdiff benchdiff-soft
+.PHONY: check ci fmt vet build test race verify fuzz smoke-server bench bench-server benchdiff benchdiff-soft
 
-check: fmt vet build test race verify fuzz
+check: fmt vet build test race verify fuzz smoke-server
 
 # ci runs exactly what .github/workflows/ci.yml runs, in the same
-# order: the gates, the fuzz smoke, the benchmark snapshot, then the
-# regression comparison against the committed baseline. The comparison
-# is soft here as in CI (shared runners are noisy) — run `make
-# benchdiff` for the hard-failing version.
-ci: fmt vet build test race fuzz bench benchdiff-soft
+# order: the gates, the fuzz smoke, the serving smoke, the benchmark
+# snapshots, then the regression comparison against the committed
+# baselines. The comparison is soft here as in CI (shared runners are
+# noisy) — run `make benchdiff` for the hard-failing version.
+ci: fmt vet build test race fuzz smoke-server bench bench-server benchdiff-soft
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -49,6 +49,12 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 5s ./internal/iloc
 	$(GO) test -run '^$$' -fuzz FuzzAllocate -fuzztime 5s ./internal/core
 
+# smoke-server boots rallocd on an ephemeral port, pushes one verified
+# allocation through it with rallocload, and asserts a clean SIGTERM
+# drain.
+smoke-server:
+	sh scripts/server_smoke.sh
+
 # bench runs the go-test benchmark suite, then the batch-driver
 # benchmark, which snapshots routines/sec, parallel speedup and cache
 # hit rate into BENCH_driver.json (uploaded as a CI artifact).
@@ -56,11 +62,21 @@ bench:
 	$(GO) test -bench . -benchtime 1x -run ^$$ .
 	$(GO) run ./cmd/driverbench -out BENCH_driver.json
 
-# benchdiff gates on >20% routines/sec regression of the fresh
-# BENCH_driver.json against the committed BENCH_baseline.json.
+# bench-server drives a live rallocd closed-loop and snapshots
+# throughput and latency quantiles into BENCH_server.json.
+bench-server:
+	sh scripts/server_bench.sh BENCH_server.json
+
+# benchdiff gates both fresh snapshots against their committed
+# baselines: >20% routines/sec regression for the driver report, >20%
+# throughput drop or p99 rise for the serving report.
 benchdiff:
-	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json -current BENCH_driver.json
+	$(GO) run ./cmd/benchdiff \
+		-pair BENCH_baseline.json:BENCH_driver.json \
+		-pair BENCH_server_baseline.json:BENCH_server.json
 
 benchdiff-soft:
-	@$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json -current BENCH_driver.json \
+	@$(GO) run ./cmd/benchdiff \
+		-pair BENCH_baseline.json:BENCH_driver.json \
+		-pair BENCH_server_baseline.json:BENCH_server.json \
 		|| echo "benchdiff: regression reported above (soft-fail; see make benchdiff)"

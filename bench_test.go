@@ -21,6 +21,7 @@ package regalloc
 // `go test -bench .` shows both compile time and code quality.
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -53,7 +54,7 @@ func BenchmarkTable1Row(b *testing.B) {
 			b.Run(name+"/"+mode.String(), func(b *testing.B) {
 				var cycles int64
 				for i := 0; i < b.N; i++ {
-					res, err := core.Allocate(k.Routine(), core.Options{Machine: m, Mode: mode})
+					res, err := core.Allocate(context.Background(), k.Routine(), core.Options{Machine: m, Mode: mode})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -85,7 +86,7 @@ func BenchmarkTable2(b *testing.B) {
 				var res *core.Result
 				var err error
 				for i := 0; i < b.N; i++ {
-					res, err = core.Allocate(k.Routine(), core.Options{Machine: m, Mode: mode})
+					res, err = core.Allocate(context.Background(), k.Routine(), core.Options{Machine: m, Mode: mode})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -135,7 +136,7 @@ func BenchmarkSplitting(b *testing.B) {
 		b.Run(s.String(), func(b *testing.B) {
 			var cycles int64
 			for i := 0; i < b.N; i++ {
-				res, err := core.Allocate(k.Routine(), core.Options{Machine: m, Mode: core.ModeRemat, Split: s})
+				res, err := core.Allocate(context.Background(), k.Routine(), core.Options{Machine: m, Mode: core.ModeRemat, Split: s})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -184,7 +185,7 @@ func BenchmarkAblation(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				total = 0
 				for _, k := range suite.All() {
-					res, err := core.Allocate(k.Routine(), cfg.opts)
+					res, err := core.Allocate(context.Background(), k.Routine(), cfg.opts)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -223,14 +224,14 @@ func BenchmarkDriverSuite(b *testing.B) {
 			if cfg.cache {
 				cache = driver.NewCache(0)
 				eng := driver.New(driver.Config{Options: opts, Workers: cfg.jobs, Cache: cache})
-				if err := eng.Run(units).FirstErr(); err != nil {
+				if err := eng.Run(context.Background(), units).FirstErr(); err != nil {
 					b.Fatal(err)
 				}
 			}
 			b.ResetTimer()
 			var st driver.Stats
 			for i := 0; i < b.N; i++ {
-				batch := driver.New(driver.Config{Options: opts, Workers: cfg.jobs, Cache: cache}).Run(units)
+				batch := driver.New(driver.Config{Options: opts, Workers: cfg.jobs, Cache: cache}).Run(context.Background(), units)
 				if err := batch.FirstErr(); err != nil {
 					b.Fatal(err)
 				}
@@ -268,7 +269,7 @@ func BenchmarkAllocateSuite(b *testing.B) {
 			m := target.Standard()
 			for i := 0; i < b.N; i++ {
 				for _, k := range suite.All() {
-					if _, err := core.Allocate(k.Routine(), core.Options{Machine: m, Mode: mode}); err != nil {
+					if _, err := core.Allocate(context.Background(), k.Routine(), core.Options{Machine: m, Mode: mode}); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -290,7 +291,7 @@ func BenchmarkSpillMetric(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				total = 0
 				for _, k := range suite.All() {
-					res, err := core.Allocate(k.Routine(), core.Options{Machine: m, Mode: core.ModeRemat, Metric: metric})
+					res, err := core.Allocate(context.Background(), k.Routine(), core.Options{Machine: m, Mode: core.ModeRemat, Metric: metric})
 					if err != nil {
 						b.Fatal(err)
 					}

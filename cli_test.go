@@ -3,12 +3,15 @@ package regalloc_test
 import (
 	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // buildCmd compiles one of the cmd/ binaries once per test run.
@@ -346,4 +349,200 @@ func TestCLIBenchdiff(t *testing.T) {
 		t.Fatal(err)
 	}
 	runCmdFail(t, bin, "-baseline", base, "-current", slow)
+}
+
+// ilocrun error paths: a missing file, an unknown kernel and a bad
+// argument must each exit nonzero with a message naming the culprit —
+// not a panic, not a zero-exit with garbage output.
+func TestCLIIlocrunMissingFile(t *testing.T) {
+	bin := buildCmd(t, "ilocrun")
+	stderr := runCmdFail(t, bin, "no-such-file.iloc")
+	if !strings.Contains(stderr, "no-such-file.iloc") {
+		t.Fatalf("error does not name the missing file:\n%s", stderr)
+	}
+}
+
+func TestCLIIlocrunUnknownKernel(t *testing.T) {
+	bin := buildCmd(t, "ilocrun")
+	stderr := runCmdFail(t, bin, "-kernel", "nosuchkernel")
+	// The error lists the available kernels so the user can fix the name.
+	if !strings.Contains(stderr, "nosuchkernel") || !strings.Contains(stderr, "sgemm") {
+		t.Fatalf("unknown-kernel error unhelpful:\n%s", stderr)
+	}
+}
+
+func TestCLIIlocrunBadArgument(t *testing.T) {
+	bin := buildCmd(t, "ilocrun")
+	stderr := runCmdFail(t, bin, "-args", "not-a-number", "testdata/sumabs.iloc")
+	if !strings.Contains(stderr, "not-a-number") {
+		t.Fatalf("error does not name the bad argument:\n%s", stderr)
+	}
+}
+
+func TestCLIIlocrunKernelCounts(t *testing.T) {
+	bin := buildCmd(t, "ilocrun")
+	out, _ := runCmd(t, bin, "", "-kernel", "sgemm", "-counts")
+	if !strings.Contains(out, "result:") || !strings.Contains(out, "fmul") {
+		t.Fatalf("kernel -counts output wrong:\n%s", out)
+	}
+}
+
+// benchdiff -pair gates several reports in one invocation, sniffing the
+// shape of each: driver reports on routines/sec, server reports on
+// req/s and p99 latency.
+func TestCLIBenchdiffMultiPair(t *testing.T) {
+	bin := buildCmd(t, "benchdiff")
+	dir := t.TempDir()
+	driverReport := func(scale float64) string {
+		return fmt.Sprintf(`{
+  "num_cpu": 1, "routines": 35,
+  "sequential": {"wall_ms": 10, "routines_per_sec": %g},
+  "parallel":   {"wall_ms": 9,  "routines_per_sec": %g},
+  "warm_cache": {"wall_ms": 1,  "routines_per_sec": %g}
+}`, 3000*scale, 3500*scale, 40000*scale)
+	}
+	serverReport := func(rps, p99 float64, errors int) string {
+		return fmt.Sprintf(`{
+  "num_cpu": 1, "concurrency": 4, "ok": 1000, "shed": 5, "errors": %d,
+  "requests_per_sec": %g, "p50_ms": 1.0, "p99_ms": %g
+}`, errors, rps, p99)
+	}
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	dbase := write("dbase.json", driverReport(1))
+	dcur := write("dcur.json", driverReport(0.95))
+	sbase := write("sbase.json", serverReport(5000, 2.0, 0))
+	scur := write("scur.json", serverReport(4600, 2.2, 0))
+
+	out, _ := runCmd(t, bin, "", "-pair", dbase+":"+dcur, "-pair", sbase+":"+scur)
+	if !strings.Contains(out, "benchdiff: ok") || !strings.Contains(out, "p99_ms") {
+		t.Fatalf("multi-pair comparison wrong:\n%s", out)
+	}
+
+	// A p99 blowup on the server pair alone must gate the whole run.
+	slow := write("slow.json", serverReport(5000, 3.5, 0))
+	runCmdFail(t, bin, "-pair", dbase+":"+dcur, "-pair", sbase+":"+slow)
+
+	// So must contract errors recorded in the current server report.
+	viol := write("viol.json", serverReport(5000, 2.0, 3))
+	runCmdFail(t, bin, "-pair", sbase+":"+viol)
+
+	// A malformed -pair value is a usage error.
+	runCmdFail(t, bin, "-pair", "only-one-path.json")
+}
+
+// End-to-end serving: boot rallocd on an ephemeral port, drive it with
+// rallocload (every 200 verified), check that a request with a short
+// X-Deadline-Ms comes back promptly as a spill-everywhere degradation
+// with reason "deadline", and require a clean drain on SIGTERM.
+func TestCLIServerEndToEnd(t *testing.T) {
+	rallocd := buildCmd(t, "rallocd")
+	rallocload := buildCmd(t, "rallocload")
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+
+	daemon := exec.Command(rallocd, "-addr", "127.0.0.1:0", "-addr-file", addrFile)
+	var daemonErr strings.Builder
+	daemon.Stderr = &daemonErr
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer daemon.Process.Kill()
+
+	var addr string
+	for i := 0; i < 100; i++ {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			addr = strings.TrimSpace(string(b))
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatalf("rallocd never wrote its address:\n%s", daemonErr.String())
+	}
+	url := "http://" + addr
+
+	runCmd(t, rallocload, "", "-url", url, "-input", "testdata/sumabs.iloc",
+		"-requests", "5", "-c", "2", "-expect-verified", "-out", filepath.Join(dir, "bench.json"))
+
+	// The deadline contract over the wire: a 1ms budget on a routine the
+	// allocator cannot finish that fast must answer ~immediately with
+	// the degraded allocation, reason "deadline".
+	body := `{"iloc": ` + jsonString(t, "testdata/fig1.iloc") + `}`
+	req, err := http.NewRequest("POST", url+"/v1/allocate", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Deadline-Ms", "1")
+	start := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("short-deadline request took %v", elapsed)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("deadline request status %d:\n%s", resp.StatusCode, raw)
+	}
+	var ar struct {
+		Results []struct {
+			Error         string `json:"error"`
+			Code          string `json:"code"`
+			Degraded      bool   `json:"degraded"`
+			DegradeReason string `json:"degrade_reason"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &ar); err != nil || len(ar.Results) == 0 {
+		t.Fatalf("bad deadline response: %v\n%s", err, raw)
+	}
+	// A 1ms budget may or may not expire before a small allocation
+	// finishes; what is forbidden is an error or a missing result.
+	u := ar.Results[0]
+	if u.Error != "" || u.Code == "" {
+		t.Fatalf("deadline unit = %+v", u)
+	}
+	if u.Degraded && u.DegradeReason != "deadline" {
+		t.Fatalf("degraded with reason %q, want %q", u.DegradeReason, "deadline")
+	}
+
+	// SIGTERM: graceful drain, exit 0.
+	if err := daemon.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- daemon.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("rallocd exit: %v\n%s", err, daemonErr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("rallocd did not drain:\n%s", daemonErr.String())
+	}
+	if !strings.Contains(daemonErr.String(), "drained") {
+		t.Fatalf("no drain message:\n%s", daemonErr.String())
+	}
+}
+
+// jsonString reads a file and returns its contents as a JSON string
+// literal.
+func jsonString(t *testing.T, path string) string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := json.Marshal(string(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(enc)
 }

@@ -1,11 +1,17 @@
-// Command benchdiff is the benchmark-regression gate: it compares a
-// fresh driverbench report (BENCH_driver.json, written by `make bench`)
-// against the committed baseline (BENCH_baseline.json) and exits
-// nonzero when any leg's routines/sec regressed by more than the
-// threshold.
+// Command benchdiff is the benchmark-regression gate: it compares fresh
+// benchmark reports against their committed baselines and exits nonzero
+// when any gated figure regressed by more than the threshold.
 //
+//	benchdiff [-threshold 20] [-github] [-pair baseline.json:current.json ...]
 //	benchdiff [-baseline BENCH_baseline.json] [-current BENCH_driver.json]
-//	          [-threshold 20] [-github]
+//
+// -pair may repeat, so one invocation gates several benchmarks (the
+// driver throughput report and the serving latency report ride the same
+// gate in CI). With no -pair, the legacy single-comparison flags apply.
+// The report kind is sniffed from the JSON itself: a driverbench report
+// carries the sequential/parallel/warm_cache legs (gated on
+// routines/sec), a rallocload report carries requests_per_sec and
+// p99_ms (gated on throughput down or tail latency up).
 //
 // CI runs it as a soft-fail annotation step (continue-on-error) because
 // shared runners are noisy; -github prints regressions in GitHub's
@@ -13,8 +19,7 @@
 // the run. Locally, `make benchdiff` runs the same comparison hard.
 //
 // Improvements are reported but never gate. A new baseline is minted by
-// copying a trusted BENCH_driver.json over BENCH_baseline.json and
-// committing it.
+// copying a trusted current report over its baseline and committing it.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 )
 
 // leg is the slice of a driverbench runMeasure the gate cares about.
@@ -30,10 +36,10 @@ type leg struct {
 	RoutinesPerSec float64 `json:"routines_per_sec"`
 }
 
-// benchReport mirrors driverbench's report shape loosely: unknown
+// driverReport mirrors driverbench's report shape loosely: unknown
 // fields are ignored, so baseline and current may differ in schema
 // details as the tool evolves.
-type benchReport struct {
+type driverReport struct {
 	GoVersion  string `json:"go_version"`
 	NumCPU     int    `json:"num_cpu"`
 	Routines   int    `json:"routines"`
@@ -42,40 +48,106 @@ type benchReport struct {
 	WarmCache  leg    `json:"warm_cache"`
 }
 
-func load(path string) (*benchReport, error) {
+// serverReport mirrors rallocload's BENCH_server.json.
+type serverReport struct {
+	NumCPU         int     `json:"num_cpu"`
+	Concurrency    int     `json:"concurrency"`
+	OK             int64   `json:"ok"`
+	Shed           int64   `json:"shed"`
+	Errors         int64   `json:"errors"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	P50Ms          float64 `json:"p50_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+}
+
+// sniff distinguishes the two report shapes by their distinctive keys.
+type sniff struct {
+	Sequential     *json.RawMessage `json:"sequential"`
+	RequestsPerSec *float64         `json:"requests_per_sec"`
+}
+
+func read(path string, v any) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	var r benchReport
-	if err := json.Unmarshal(data, &r); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
 	}
-	return &r, nil
+	return nil
+}
+
+// pairList collects repeated -pair baseline:current flags.
+type pairList [][2]string
+
+func (p *pairList) String() string { return fmt.Sprint([][2]string(*p)) }
+
+func (p *pairList) Set(s string) error {
+	b, c, ok := strings.Cut(s, ":")
+	if !ok || b == "" || c == "" {
+		return fmt.Errorf("want baseline.json:current.json, got %q", s)
+	}
+	*p = append(*p, [2]string{b, c})
+	return nil
 }
 
 func main() {
-	baseline := flag.String("baseline", "BENCH_baseline.json", "committed baseline report")
-	current := flag.String("current", "BENCH_driver.json", "freshly measured report")
-	threshold := flag.Float64("threshold", 20, "max tolerated routines/sec regression, percent")
+	var pairs pairList
+	flag.Var(&pairs, "pair", "baseline.json:current.json comparison (repeatable)")
+	baseline := flag.String("baseline", "BENCH_baseline.json", "committed baseline report (legacy single-pair form)")
+	current := flag.String("current", "BENCH_driver.json", "freshly measured report (legacy single-pair form)")
+	threshold := flag.Float64("threshold", 20, "max tolerated regression, percent")
 	github := flag.Bool("github", false, "print regressions as GitHub ::warning:: annotations")
 	flag.Parse()
 
-	base, err := load(*baseline)
-	if err != nil {
-		fail(err)
+	if len(pairs) == 0 {
+		pairs = pairList{{*baseline, *current}}
 	}
-	cur, err := load(*current)
-	if err != nil {
-		fail(err)
+	regressed := false
+	for _, p := range pairs {
+		bad, err := compare(p[0], p[1], *threshold, *github)
+		if err != nil {
+			fail(err)
+		}
+		regressed = regressed || bad
 	}
+	if regressed {
+		fmt.Printf("benchdiff: FAIL: at least one gated figure regressed more than %.0f%%\n", *threshold)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: ok")
+}
 
+// compare gates one baseline/current pair, dispatching on report shape.
+func compare(basePath, curPath string, threshold float64, github bool) (bool, error) {
+	var kind sniff
+	if err := read(curPath, &kind); err != nil {
+		return false, err
+	}
+	switch {
+	case kind.Sequential != nil:
+		return compareDriver(basePath, curPath, threshold, github)
+	case kind.RequestsPerSec != nil:
+		return compareServer(basePath, curPath, threshold, github)
+	default:
+		return false, fmt.Errorf("%s: unrecognized report shape (neither driverbench legs nor rallocload figures)", curPath)
+	}
+}
+
+func compareDriver(basePath, curPath string, threshold float64, github bool) (bool, error) {
+	var base, cur driverReport
+	if err := read(basePath, &base); err != nil {
+		return false, err
+	}
+	if err := read(curPath, &cur); err != nil {
+		return false, err
+	}
 	if base.NumCPU != cur.NumCPU || base.Routines != cur.Routines {
 		fmt.Printf("benchdiff: note: baseline ran %d routines on %d CPU(s), current %d on %d — deltas may not be comparable\n",
 			base.Routines, base.NumCPU, cur.Routines, cur.NumCPU)
 	}
 
-	fmt.Printf("benchdiff: %s vs %s (threshold %.0f%%)\n", *current, *baseline, *threshold)
+	fmt.Printf("benchdiff: %s vs %s (threshold %.0f%%)\n", curPath, basePath, threshold)
 	fmt.Printf("%-12s %15s %15s %9s\n", "leg", "base rtn/s", "cur rtn/s", "delta")
 	regressed := false
 	for _, l := range []struct {
@@ -92,22 +164,72 @@ func main() {
 		}
 		delta := 100 * (l.cur.RoutinesPerSec - l.base.RoutinesPerSec) / l.base.RoutinesPerSec
 		mark := ""
-		if -delta > *threshold {
+		if -delta > threshold {
 			regressed = true
 			mark = "  << REGRESSION"
-			if *github {
+			if github {
 				fmt.Printf("::warning title=Benchmark regression::%s leg: %.0f -> %.0f routines/sec (%.1f%%, threshold %.0f%%)\n",
-					l.name, l.base.RoutinesPerSec, l.cur.RoutinesPerSec, delta, *threshold)
+					l.name, l.base.RoutinesPerSec, l.cur.RoutinesPerSec, delta, threshold)
 			}
 		}
 		fmt.Printf("%-12s %15.0f %15.0f %+8.1f%%%s\n",
 			l.name, l.base.RoutinesPerSec, l.cur.RoutinesPerSec, delta, mark)
 	}
-	if regressed {
-		fmt.Printf("benchdiff: FAIL: routines/sec regressed more than %.0f%% on at least one leg\n", *threshold)
-		os.Exit(1)
+	return regressed, nil
+}
+
+// compareServer gates the serving benchmark: throughput may not drop,
+// and p99 latency may not rise, by more than the threshold. A current
+// report carrying contract errors always gates — rallocload itself
+// exits nonzero on them, but a stale file must not slip through.
+func compareServer(basePath, curPath string, threshold float64, github bool) (bool, error) {
+	var base, cur serverReport
+	if err := read(basePath, &base); err != nil {
+		return false, err
 	}
-	fmt.Println("benchdiff: ok")
+	if err := read(curPath, &cur); err != nil {
+		return false, err
+	}
+	if base.NumCPU != cur.NumCPU || base.Concurrency != cur.Concurrency {
+		fmt.Printf("benchdiff: note: baseline ran c=%d on %d CPU(s), current c=%d on %d — deltas may not be comparable\n",
+			base.Concurrency, base.NumCPU, cur.Concurrency, cur.NumCPU)
+	}
+
+	fmt.Printf("benchdiff: %s vs %s (threshold %.0f%%)\n", curPath, basePath, threshold)
+	fmt.Printf("%-12s %15s %15s %9s\n", "figure", "base", "current", "delta")
+	regressed := false
+	gate := func(name string, basev, curv float64, lowerIsBetter bool) {
+		if basev <= 0 {
+			fmt.Printf("%-12s %15s %15.2f %9s\n", name, "(none)", curv, "-")
+			return
+		}
+		delta := 100 * (curv - basev) / basev
+		// bad is how far the figure moved in its bad direction.
+		bad := -delta
+		if lowerIsBetter {
+			bad = delta
+		}
+		mark := ""
+		if bad > threshold {
+			regressed = true
+			mark = "  << REGRESSION"
+			if github {
+				fmt.Printf("::warning title=Benchmark regression::server %s: %.2f -> %.2f (%.1f%%, threshold %.0f%%)\n",
+					name, basev, curv, delta, threshold)
+			}
+		}
+		fmt.Printf("%-12s %15.2f %15.2f %+8.1f%%%s\n", name, basev, curv, delta, mark)
+	}
+	gate("req/s", base.RequestsPerSec, cur.RequestsPerSec, false)
+	gate("p99_ms", base.P99Ms, cur.P99Ms, true)
+	if cur.Errors > 0 {
+		regressed = true
+		fmt.Printf("benchdiff: %s: %d request(s) violated the serving contract\n", curPath, cur.Errors)
+		if github {
+			fmt.Printf("::warning title=Serving contract violation::%d request(s) answered outside 200/429\n", cur.Errors)
+		}
+	}
+	return regressed, nil
 }
 
 func fail(err error) {

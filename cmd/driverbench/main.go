@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"flag"
@@ -149,12 +150,12 @@ func main() {
 	// Warm: fill a cache once, then measure the fully cached batch.
 	cache := driver.NewCache(0)
 	warmEng := driver.New(driver.Config{Options: opts, Workers: par, Cache: cache, Telemetry: sink})
-	if err := warmEng.Run(units).FirstErr(); err != nil {
+	if err := warmEng.Run(context.Background(), units).FirstErr(); err != nil {
 		fail(err)
 	}
 	best := driver.Stats{}
 	for r := 0; r < *reps; r++ {
-		b := warmEng.Run(units)
+		b := warmEng.Run(context.Background(), units)
 		if err := b.FirstErr(); err != nil {
 			fail(err)
 		}
@@ -211,7 +212,7 @@ func main() {
 func measureCold(units []driver.Unit, opts core.Options, sink *telemetry.Sink, jobs, reps int) runMeasure {
 	best := driver.Stats{}
 	for r := 0; r < reps; r++ {
-		b := driver.New(driver.Config{Options: opts, Workers: jobs, Telemetry: sink}).Run(units)
+		b := driver.New(driver.Config{Options: opts, Workers: jobs, Telemetry: sink}).Run(context.Background(), units)
 		if err := b.FirstErr(); err != nil {
 			fail(err)
 		}

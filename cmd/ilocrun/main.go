@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -84,7 +85,7 @@ func maybeAllocate(rt *iloc.Routine, mode string, regs int) (*iloc.Routine, erro
 	default:
 		return nil, fmt.Errorf("unknown mode %q", mode)
 	}
-	res, err := core.Allocate(rt, opts)
+	res, err := core.Allocate(context.Background(), rt, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -31,10 +31,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
 	"repro/internal/core"
 	"repro/internal/ctrans"
@@ -116,7 +118,11 @@ func main() {
 		}
 		cfg.Telemetry = sink
 	}
-	batch := driver.New(cfg).Run(units)
+	// Interrupting the process cancels the batch: finished units stay
+	// finished, running and unstarted ones fail with the context error.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	batch := driver.New(cfg).Run(ctx, units)
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {

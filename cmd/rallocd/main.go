@@ -1,0 +1,138 @@
+// Command rallocd is the allocation daemon: it serves the register
+// allocator over HTTP (see internal/server).
+//
+//	rallocd [-addr host:port] [-addr-file path] [-mode remat|chaitin]
+//	        [-regs N] [-verify=false] [-j N] [-cache-size N]
+//	        [-max-inflight N] [-max-queue N]
+//	        [-default-deadline d] [-max-deadline d] [-drain d]
+//	        [-trace out.json]
+//
+// Endpoints: POST /v1/allocate (one ILOC source, one or more routines),
+// POST /v1/batch (named units with per-unit options), GET /healthz,
+// /readyz, /metrics, /debug/vars and /debug/pprof.
+//
+// -addr-file writes the bound address to a file once the listener is
+// up, so scripts can use "-addr 127.0.0.1:0" and discover the ephemeral
+// port without racing the daemon.
+//
+// SIGINT/SIGTERM starts a graceful shutdown: /readyz flips to 503, the
+// listener stops accepting, and in-flight batches get up to -drain to
+// finish before the process exits. Exit status 0 means a clean drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/server"
+	"repro/internal/target"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8347", "listen address (port 0 picks an ephemeral port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
+	mode := flag.String("mode", "remat", "default allocator mode: remat or chaitin")
+	regs := flag.Int("regs", 16, "default registers per class")
+	verify := flag.Bool("verify", true, "run the post-allocation verifier on every result by default")
+	jobs := flag.Int("j", 0, "per-batch worker pool size (0 = number of CPUs)")
+	cacheSize := flag.Int("cache-size", 0, "result-cache capacity in entries (0 = unbounded)")
+	maxInflight := flag.Int("max-inflight", 0, "requests allocating concurrently (0 = number of CPUs)")
+	maxQueue := flag.Int("max-queue", 0, "requests waiting beyond max-inflight before shedding (0 = 4x max-inflight, -1 = none)")
+	defaultDeadline := flag.Duration("default-deadline", 30*time.Second, "per-request deadline when the client sends no X-Deadline-Ms")
+	maxDeadline := flag.Duration("max-deadline", 2*time.Minute, "upper clamp on client-requested deadlines")
+	drain := flag.Duration("drain", 30*time.Second, "grace period for in-flight requests on shutdown")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file on clean shutdown")
+	flag.Parse()
+
+	opts := core.Options{Machine: target.WithRegs(*regs), Verify: *verify}
+	switch *mode {
+	case "remat":
+		opts.Mode = core.ModeRemat
+	case "chaitin":
+		opts.Mode = core.ModeChaitin
+	default:
+		fail(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	sink := &telemetry.Sink{Metrics: telemetry.NewRegistry()}
+	if *tracePath != "" {
+		sink.Trace = telemetry.NewTracer()
+	}
+	srv := server.New(server.Config{
+		Options:           opts,
+		DefaultOptionsSet: true,
+		Workers:           *jobs,
+		Cache:             driver.NewCache(*cacheSize),
+		MaxInFlight:       *maxInflight,
+		MaxQueue:          *maxQueue,
+		DefaultDeadline:   *defaultDeadline,
+		MaxDeadline:       *maxDeadline,
+		Telemetry:         sink,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			fail(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "rallocd: listening on %s\n", bound)
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		fail(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop advertising readiness, stop accepting, give
+	// in-flight batches the grace period to answer.
+	fmt.Fprintf(os.Stderr, "rallocd: shutting down (drain %v)\n", *drain)
+	srv.SetReady(false)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		fail(fmt.Errorf("drain: %w", err))
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fail(err)
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fail(err)
+		}
+		if err := sink.Trace.WriteJSON(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "rallocd: drained, bye")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "rallocd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,225 @@
+// Command rallocload is the closed-loop load generator for rallocd: a
+// fixed set of workers each keeps exactly one allocation request in
+// flight against POST /v1/allocate, and the tool reports throughput and
+// latency quantiles as JSON (BENCH_server.json in CI; cmd/benchdiff
+// gates it against the committed baseline).
+//
+//	rallocload -url http://host:port [-input file.iloc] [-c 4]
+//	           [-duration 5s] [-requests N] [-deadline-ms N]
+//	           [-expect-verified] [-out BENCH_server.json]
+//
+// -requests N sends exactly N requests (spread across the workers) and
+// ignores -duration; otherwise the workers run closed-loop for
+// -duration. Shed responses (429) are counted and retried-by-looping —
+// they are part of the server's overload contract, not failures. Any
+// other non-200, a transport error, a body that fails to decode, or
+// (under -expect-verified) a 200 carrying an unverified or failed unit
+// is an error; the tool exits nonzero if any occurred, which is how the
+// smoke test asserts the "only 200 or 429, every 200 verified"
+// contract.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+)
+
+// report is the BENCH_server.json shape. cmd/benchdiff recognizes it by
+// the requests_per_sec/p99_ms pair.
+type report struct {
+	GoVersion      string  `json:"go_version"`
+	NumCPU         int     `json:"num_cpu"`
+	URL            string  `json:"url"`
+	Concurrency    int     `json:"concurrency"`
+	DeadlineMs     int     `json:"deadline_ms,omitempty"`
+	DurationSec    float64 `json:"duration_sec"`
+	Requests       int64   `json:"requests"`
+	OK             int64   `json:"ok"`
+	Shed           int64   `json:"shed"`
+	Errors         int64   `json:"errors"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	MeanMs         float64 `json:"mean_ms"`
+	P50Ms          float64 `json:"p50_ms"`
+	P90Ms          float64 `json:"p90_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+	MaxMs          float64 `json:"max_ms"`
+}
+
+func main() {
+	url := flag.String("url", "", "base URL of the rallocd instance (required)")
+	input := flag.String("input", "testdata/sumabs.iloc", "ILOC source file to allocate")
+	conc := flag.Int("c", 4, "concurrent closed-loop workers")
+	duration := flag.Duration("duration", 5*time.Second, "how long to run (ignored with -requests)")
+	requests := flag.Int64("requests", 0, "send exactly this many requests instead of running for -duration")
+	deadlineMs := flag.Int("deadline-ms", 0, "X-Deadline-Ms header to send (0 = none)")
+	expectVerified := flag.Bool("expect-verified", false, "treat an unverified unit in a 200 as an error")
+	out := flag.String("out", "BENCH_server.json", "output file (- for stdout)")
+	flag.Parse()
+	if *url == "" {
+		fail(fmt.Errorf("-url is required"))
+	}
+
+	src, err := os.ReadFile(*input)
+	if err != nil {
+		fail(err)
+	}
+	body, err := json.Marshal(server.AllocateRequest{ILOC: string(src)})
+	if err != nil {
+		fail(err)
+	}
+
+	var (
+		sent, ok, shed, errs atomic.Int64
+		mu                   sync.Mutex
+		lats                 []time.Duration
+		firstErr             atomic.Value
+	)
+	client := &http.Client{Timeout: 2 * time.Minute}
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local []time.Duration
+			for {
+				if *requests > 0 {
+					if sent.Add(1) > *requests {
+						break
+					}
+				} else {
+					if time.Now().After(deadline) {
+						break
+					}
+					sent.Add(1)
+				}
+				t0 := time.Now()
+				status, rerr := shoot(client, *url, body, *deadlineMs, *expectVerified)
+				lat := time.Since(t0)
+				switch {
+				case rerr != nil:
+					errs.Add(1)
+					firstErr.CompareAndSwap(nil, rerr)
+				case status == http.StatusTooManyRequests:
+					shed.Add(1)
+				default:
+					ok.Add(1)
+					local = append(local, lat)
+				}
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	r := report{
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		URL:         *url,
+		Concurrency: *conc,
+		DeadlineMs:  *deadlineMs,
+		DurationSec: elapsed.Seconds(),
+		Requests:    ok.Load() + shed.Load() + errs.Load(),
+		OK:          ok.Load(),
+		Shed:        shed.Load(),
+		Errors:      errs.Load(),
+	}
+	if elapsed > 0 {
+		r.RequestsPerSec = float64(r.OK) / elapsed.Seconds()
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		var sum time.Duration
+		for _, l := range lats {
+			sum += l
+		}
+		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+		q := func(p float64) time.Duration { return lats[int(p*float64(len(lats)-1))] }
+		r.MeanMs = ms(sum / time.Duration(len(lats)))
+		r.P50Ms = ms(q(0.50))
+		r.P90Ms = ms(q(0.90))
+		r.P99Ms = ms(q(0.99))
+		r.MaxMs = ms(lats[len(lats)-1])
+	}
+
+	data, err := json.MarshalIndent(r, "", " ")
+	if err != nil {
+		fail(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "rallocload: %d ok, %d shed, %d error(s) in %.2fs (%.0f req/s, p50 %.2fms, p99 %.2fms)\n",
+		r.OK, r.Shed, r.Errors, r.DurationSec, r.RequestsPerSec, r.P50Ms, r.P99Ms)
+	if r.Errors > 0 {
+		err, _ := firstErr.Load().(error)
+		fail(fmt.Errorf("%d request(s) violated the 200-or-429 contract (first: %v)", r.Errors, err))
+	}
+	if r.OK == 0 {
+		fail(fmt.Errorf("no request succeeded"))
+	}
+}
+
+// shoot sends one allocation request and classifies the answer. Any
+// error return counts against the serving contract.
+func shoot(client *http.Client, base string, body []byte, deadlineMs int, expectVerified bool) (int, error) {
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/allocate", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if deadlineMs > 0 {
+		req.Header.Set("X-Deadline-Ms", fmt.Sprintf("%d", deadlineMs))
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests:
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, nil
+	case http.StatusOK:
+		var ar server.AllocateResponse
+		if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+			return resp.StatusCode, fmt.Errorf("bad 200 body: %w", err)
+		}
+		for _, u := range ar.Results {
+			if u.Error != "" {
+				return resp.StatusCode, fmt.Errorf("unit %s failed: %s", u.Name, u.Error)
+			}
+			if expectVerified && !u.Verified {
+				return resp.StatusCode, fmt.Errorf("unit %s not verified", u.Name)
+			}
+		}
+		return resp.StatusCode, nil
+	default:
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return resp.StatusCode, fmt.Errorf("status %d: %s", resp.StatusCode, b)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "rallocload:", err)
+	os.Exit(1)
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/iloc"
@@ -14,11 +15,11 @@ import (
 // answer.
 func runProgram(t *testing.T, callerSrc, calleeSrc string, opts Options, args ...interp.Value) *interp.Outcome {
 	t.Helper()
-	caller, err := Allocate(iloc.MustParse(callerSrc), opts)
+	caller, err := Allocate(context.Background(), iloc.MustParse(callerSrc), opts)
 	if err != nil {
 		t.Fatalf("caller: %v", err)
 	}
-	callee, err := Allocate(iloc.MustParse(calleeSrc), opts)
+	callee, err := Allocate(context.Background(), iloc.MustParse(calleeSrc), opts)
 	if err != nil {
 		t.Fatalf("callee: %v", err)
 	}
@@ -181,7 +182,7 @@ rec:
     add r4, r4, r5
     retr r4
 `
-	res, err := Allocate(iloc.MustParse(fibSrc), Options{Machine: target.Standard(), Mode: ModeRemat})
+	res, err := Allocate(context.Background(), iloc.MustParse(fibSrc), Options{Machine: target.Standard(), Mode: ModeRemat})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/iloc"
@@ -70,13 +71,13 @@ entry:
 `
 	for _, m := range []*target.Machine{target.Standard(), target.WithRegs(3)} {
 		for _, mode := range []Mode{ModeChaitin, ModeRemat} {
-			res, err := Allocate(iloc.MustParse(callerSrc), Options{Machine: m, Mode: mode})
+			res, err := Allocate(context.Background(), iloc.MustParse(callerSrc), Options{Machine: m, Mode: mode})
 			if err != nil {
 				t.Fatalf("machine %s mode %v: %v", m, mode, err)
 			}
 			checkNoCallerSaveAcrossCalls(t, res.Routine, m)
 
-			callee, err := Allocate(iloc.MustParse(squareSrc), Options{Machine: m, Mode: mode})
+			callee, err := Allocate(context.Background(), iloc.MustParse(squareSrc), Options{Machine: m, Mode: mode})
 			if err != nil {
 				t.Fatalf("callee on %s: %v", m, err)
 			}
@@ -112,7 +113,7 @@ entry:
     retr r3
 `
 	m := target.WithRegs(3)
-	res, err := Allocate(iloc.MustParse(callerSrc), Options{Machine: m, Mode: ModeRemat})
+	res, err := Allocate(context.Background(), iloc.MustParse(callerSrc), Options{Machine: m, Mode: ModeRemat})
 	if err != nil {
 		t.Fatal(err)
 	}

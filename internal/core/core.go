@@ -13,6 +13,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -206,6 +208,7 @@ func (cs *classState) find(n int) int { return cs.sets.Find(n) }
 func (cs *classState) tagOf(n int) remat.Tag { return cs.tags[cs.find(n)] }
 
 type allocator struct {
+	ctx  context.Context
 	rt   *iloc.Routine
 	opts Options
 	res  *Result
@@ -221,13 +224,26 @@ type allocator struct {
 // input routine is not modified; the returned Result holds an allocated
 // clone.
 //
+// The context bounds the allocation: it is checked between pipeline
+// passes and between iterations of the spill/color loop, the only
+// places the allocator can run for long (the loop has no a-priori
+// iteration bound). When the context's deadline expires mid-allocation
+// the allocator does not hang or return empty-handed — it degrades to
+// the guaranteed-terminating spill-everywhere allocation with
+// DegradeReason "deadline" (unless Options.DisableDegradation, which
+// surfaces the expiry as an error). A cancelled context always returns
+// the cancellation error: the caller no longer wants any result.
+//
 // Allocate is safe for concurrent use, including calls sharing the same
 // input routine or Machine: the input is only read (verified and
 // cloned), the Machine is never written, all working state lives in the
 // per-call allocator, and the package-level pass pipeline is immutable
 // after init. The driver package relies on this to allocate whole
 // modules in parallel.
-func Allocate(rt *iloc.Routine, opts Options) (*Result, error) {
+func Allocate(ctx context.Context, rt *iloc.Routine, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.withDefaults()
 	if err := opts.Machine.Validate(); err != nil {
 		return nil, err
@@ -237,7 +253,7 @@ func Allocate(rt *iloc.Routine, opts Options) (*Result, error) {
 	}
 	tel := opts.Telemetry
 	sp := tel.StartSpan(telemetry.CatAlloc, rt.Name)
-	res, err := allocateOrDegrade(rt, opts)
+	res, err := allocateOrDegrade(ctx, rt, opts)
 	if sp.Active() {
 		sp.StrArg("mode", opts.Mode.String())
 		if res != nil {
@@ -267,10 +283,15 @@ func Allocate(rt *iloc.Routine, opts Options) (*Result, error) {
 
 // allocateOrDegrade is Allocate after validation: the iterated
 // allocator plus the spill-everywhere degradation path.
-func allocateOrDegrade(rt *iloc.Routine, opts Options) (*Result, error) {
-	res, err := allocate(rt, opts)
+func allocateOrDegrade(ctx context.Context, rt *iloc.Routine, opts Options) (*Result, error) {
+	res, err := allocate(ctx, rt, opts)
 	if err == nil {
 		return res, nil
+	}
+	if errors.Is(err, context.Canceled) {
+		// Cancellation means the caller abandoned the request; producing
+		// a fallback allocation nobody will read helps no one.
+		return nil, err
 	}
 	if opts.DisableDegradation {
 		return nil, err
@@ -293,6 +314,11 @@ func allocateOrDegrade(rt *iloc.Routine, opts Options) (*Result, error) {
 	}
 	dres.Degraded = true
 	dres.DegradeReason = err.Error()
+	if errors.Is(err, context.DeadlineExceeded) {
+		// The fixed reason string is the contract deadline-aware callers
+		// (the serving layer, the driver's cache-admission rule) key on.
+		dres.DegradeReason = DegradeReasonDeadline
+	}
 	opts.Telemetry.Count("core.degradations", 1)
 	opts.Telemetry.Instant(telemetry.CatDegrade, rt.Name,
 		telemetry.Arg{Key: "reason", Str: dres.DegradeReason})
@@ -302,13 +328,14 @@ func allocateOrDegrade(rt *iloc.Routine, opts Options) (*Result, error) {
 // allocate runs the iterated build–color–spill pipeline with panic
 // containment: any panic escaping a pass (or the loop scaffolding)
 // surfaces as an *AllocError instead of unwinding into the caller.
-func allocate(rt *iloc.Routine, opts Options) (res *Result, err error) {
+func allocate(ctx context.Context, rt *iloc.Routine, opts Options) (res *Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, recovered(rt.Name, "", 0, r)
 		}
 	}()
 	a := &allocator{
+		ctx:  ctx,
 		rt:   rt.Clone(),
 		opts: opts,
 		res:  &Result{Mode: opts.Mode, Machine: opts.Machine},
@@ -320,6 +347,9 @@ func allocate(rt *iloc.Routine, opts Options) (res *Result, err error) {
 
 	for iter := 0; iter < opts.MaxIterations; iter++ {
 		a.roundNo = iter
+		if err := a.ctxErr(); err != nil {
+			return nil, err
+		}
 		stats, done, err := a.round()
 		if err != nil {
 			return nil, err

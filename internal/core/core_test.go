@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -42,7 +43,7 @@ func runBoth(t *testing.T, rt *iloc.Routine, opts Options, args ...interp.Value)
 		t.Fatal(err)
 	}
 
-	res, err := Allocate(rt, opts)
+	res, err := Allocate(context.Background(), rt, opts)
 	if err != nil {
 		t.Fatalf("allocate (%v): %v", opts.Mode, err)
 	}
@@ -278,7 +279,7 @@ done:
 
 func TestStatsPopulated(t *testing.T) {
 	rt := iloc.MustParse(fig1Src)
-	res, err := Allocate(rt, Options{Machine: target.WithRegs(4), Mode: ModeRemat})
+	res, err := Allocate(context.Background(), rt, Options{Machine: target.WithRegs(4), Mode: ModeRemat})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,7 +301,7 @@ func TestStatsPopulated(t *testing.T) {
 func TestInputRoutineNotModified(t *testing.T) {
 	rt := iloc.MustParse(fig1Src)
 	before := iloc.Print(rt)
-	if _, err := Allocate(rt, Options{Machine: target.WithRegs(4), Mode: ModeRemat}); err != nil {
+	if _, err := Allocate(context.Background(), rt, Options{Machine: target.WithRegs(4), Mode: ModeRemat}); err != nil {
 		t.Fatal(err)
 	}
 	if iloc.Print(rt) != before {
@@ -311,11 +312,11 @@ func TestInputRoutineNotModified(t *testing.T) {
 func TestRejectsBadInput(t *testing.T) {
 	rt := iloc.MustParse(fig1Src)
 	rt.Blocks[0].Instrs[0].Dst = iloc.IntReg(999)
-	if _, err := Allocate(rt, Options{Machine: target.Standard()}); err == nil {
+	if _, err := Allocate(context.Background(), rt, Options{Machine: target.Standard()}); err == nil {
 		t.Fatal("invalid input accepted")
 	}
 	m := target.WithRegs(2)
-	if _, err := Allocate(iloc.MustParse(fig1Src), Options{Machine: m}); err == nil {
+	if _, err := Allocate(context.Background(), iloc.MustParse(fig1Src), Options{Machine: m}); err == nil {
 		t.Fatal("unusable machine accepted")
 	}
 }

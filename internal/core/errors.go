@@ -5,6 +5,15 @@ import (
 	"runtime/debug"
 )
 
+// DegradeReasonDeadline is the Result.DegradeReason recorded when an
+// allocation's context deadline expired mid-pipeline and the routine
+// was re-allocated by the spill-everywhere fallback. Deadline-aware
+// callers match on it: the serving layer reports it to clients, and the
+// driver refuses to cache such results (the cache key does not include
+// the deadline, so a deadline-shaped result must never satisfy a later,
+// more patient request).
+const DegradeReasonDeadline = "deadline"
+
 // AllocError is the structured failure report of one allocation: which
 // routine failed, in which pipeline pass, on which iteration of the
 // spill/color loop, and why. Panics raised inside a pass are recovered

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -29,7 +30,7 @@ func TestGoldenFig1Allocations(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			res, err := Allocate(iloc.MustParse(fig1Src), c.opts)
+			res, err := Allocate(context.Background(), iloc.MustParse(fig1Src), c.opts)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -52,7 +53,7 @@ entry:
     add r5, r5, r1
     retr r5
 `
-	res, err := Allocate(iloc.MustParse(src), Options{Machine: target.WithRegs(3), Mode: ModeRemat})
+	res, err := Allocate(context.Background(), iloc.MustParse(src), Options{Machine: target.WithRegs(3), Mode: ModeRemat})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ entry:
     add r6, r6, r1
     retr r6
 `
-	res, err := Allocate(iloc.MustParse(src), Options{Machine: target.WithRegs(3), Mode: ModeRemat})
+	res, err := Allocate(context.Background(), iloc.MustParse(src), Options{Machine: target.WithRegs(3), Mode: ModeRemat})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ join:
 	}
 	// Same constant on both arms: r2's range is never-killed under
 	// Chaitin's rule; no stores appear even when spilled.
-	res, err := Allocate(iloc.MustParse(build(7)), Options{Machine: target.WithRegs(3), Mode: ModeChaitin})
+	res, err := Allocate(context.Background(), iloc.MustParse(build(7)), Options{Machine: target.WithRegs(3), Mode: ModeChaitin})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ join:
 	// Different constants: the merged range is ⊥ for Chaitin. If it
 	// spills, stores appear. (It has the most uses, so it may survive;
 	// assert only that execution stays correct on both paths.)
-	res2, err := Allocate(iloc.MustParse(build(9)), Options{Machine: target.WithRegs(3), Mode: ModeChaitin})
+	res2, err := Allocate(context.Background(), iloc.MustParse(build(9)), Options{Machine: target.WithRegs(3), Mode: ModeChaitin})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +209,7 @@ entry:
     add r5, r5, r1
     retr r5
 `
-	res, err := Allocate(iloc.MustParse(src), Options{Machine: target.WithRegs(3), Mode: ModeRemat})
+	res, err := Allocate(context.Background(), iloc.MustParse(src), Options{Machine: target.WithRegs(3), Mode: ModeRemat})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +245,7 @@ entry:
     add r5, r5, r7
     retr r5
 `
-	res, err := Allocate(iloc.MustParse(src), Options{Machine: target.WithRegs(3), Mode: ModeRemat})
+	res, err := Allocate(context.Background(), iloc.MustParse(src), Options{Machine: target.WithRegs(3), Mode: ModeRemat})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +272,7 @@ entry:
 // match the partners (low pressure): they are either coalesced or
 // deleted as same-color copies.
 func TestSplitsVanishWithoutPressure(t *testing.T) {
-	res, err := Allocate(iloc.MustParse(fig1Src), Options{Machine: target.Huge(), Mode: ModeRemat})
+	res, err := Allocate(context.Background(), iloc.MustParse(fig1Src), Options{Machine: target.Huge(), Mode: ModeRemat})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +286,7 @@ func TestSplitsVanishWithoutPressure(t *testing.T) {
 // surfaces as a structured *AllocError naming the loop.
 func TestMaxIterationsRespected(t *testing.T) {
 	rt := iloc.MustParse(fig1Src)
-	_, err := Allocate(rt, Options{
+	_, err := Allocate(context.Background(), rt, Options{
 		Machine: target.WithRegs(3), Mode: ModeRemat,
 		MaxIterations: 1, DisableDegradation: true,
 	})
@@ -317,7 +318,7 @@ entry:
     addi r5, r4, 1
     retr r5
 `
-	res, err := Allocate(iloc.MustParse(src), Options{Machine: target.Standard(), Mode: ModeRemat})
+	res, err := Allocate(context.Background(), iloc.MustParse(src), Options{Machine: target.Standard(), Mode: ModeRemat})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -345,7 +346,7 @@ entry:
     retr r3
 `
 	for _, mode := range []Mode{ModeChaitin, ModeRemat} {
-		res, err := Allocate(iloc.MustParse(src), Options{Machine: target.Standard(), Mode: mode})
+		res, err := Allocate(context.Background(), iloc.MustParse(src), Options{Machine: target.Standard(), Mode: mode})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -375,7 +376,7 @@ entry:
     fadd f5, f5, f1
     retf f5
 `
-	res, err := Allocate(iloc.MustParse(src), Options{Machine: target.WithRegs(3), Mode: ModeRemat})
+	res, err := Allocate(context.Background(), iloc.MustParse(src), Options{Machine: target.WithRegs(3), Mode: ModeRemat})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -405,7 +406,7 @@ done:
     add r5, r2, r3
     retr r5
 `
-	res, err := Allocate(iloc.MustParse(src), Options{
+	res, err := Allocate(context.Background(), iloc.MustParse(src), Options{
 		Machine: target.Standard(), Mode: ModeRemat, Split: SplitInactiveLoops,
 	})
 	if err != nil {
@@ -439,7 +440,7 @@ entry:
     add r5, r5, r1
     retr r5
 `
-	res, err := Allocate(iloc.MustParse(src), Options{Machine: target.WithRegs(3), Mode: ModeRemat})
+	res, err := Allocate(context.Background(), iloc.MustParse(src), Options{Machine: target.WithRegs(3), Mode: ModeRemat})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -476,7 +477,7 @@ entry:
     add r5, r5, r3
     retr r5
 `
-	res, err := Allocate(iloc.MustParse(src), Options{Machine: target.WithRegs(3), Mode: ModeRemat})
+	res, err := Allocate(context.Background(), iloc.MustParse(src), Options{Machine: target.WithRegs(3), Mode: ModeRemat})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -506,7 +507,7 @@ func TestAllocationDeterministic(t *testing.T) {
 	for _, mode := range []Mode{ModeChaitin, ModeRemat} {
 		var first string
 		for trial := 0; trial < 3; trial++ {
-			res, err := Allocate(iloc.MustParse(fig1Src), Options{Machine: target.WithRegs(3), Mode: mode})
+			res, err := Allocate(context.Background(), iloc.MustParse(fig1Src), Options{Machine: target.WithRegs(3), Mode: mode})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -523,7 +524,7 @@ func TestAllocationDeterministic(t *testing.T) {
 // All spill metrics yield correct (if differently shaped) allocations.
 func TestSpillMetricsPreserveSemantics(t *testing.T) {
 	for _, m := range []SpillMetric{MetricCostOverDegree, MetricCostOverDegreeSquared, MetricCost} {
-		res, err := Allocate(iloc.MustParse(fig1Src), Options{
+		res, err := Allocate(context.Background(), iloc.MustParse(fig1Src), Options{
 			Machine: target.WithRegs(3), Mode: ModeRemat, Metric: m,
 		})
 		if err != nil {
@@ -574,7 +575,7 @@ done:
 			want = 4*100 + 3
 		}
 		for _, split := range []SplitScheme{SplitNone, SplitAtPhis, SplitAllLoops} {
-			res, err := Allocate(iloc.MustParse(src), Options{
+			res, err := Allocate(context.Background(), iloc.MustParse(src), Options{
 				Machine: target.WithRegs(4), Mode: ModeRemat, Split: split,
 			})
 			if err != nil {
@@ -650,7 +651,7 @@ entry:
 // Empty critical-edge blocks must not survive to allocated code: no
 // block may consist of a single jmp reachable from another jmp/br.
 func TestJumpThreadingRemovesEmptyBlocks(t *testing.T) {
-	res, err := Allocate(iloc.MustParse(fig1Src), Options{Machine: target.WithRegs(3), Mode: ModeRemat})
+	res, err := Allocate(context.Background(), iloc.MustParse(fig1Src), Options{Machine: target.WithRegs(3), Mode: ModeRemat})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -691,7 +692,7 @@ done:
     add r6, r6, r4
     retr r6
 `
-	res, err := Allocate(iloc.MustParse(src), Options{Machine: target.Standard(), Mode: ModeRemat})
+	res, err := Allocate(context.Background(), iloc.MustParse(src), Options{Machine: target.Standard(), Mode: ModeRemat})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -733,7 +734,7 @@ entry:
     ldi r2, 2
     retr r2
 `
-	res, err := Allocate(iloc.MustParse(src), Options{Machine: target.Standard(), Mode: ModeRemat})
+	res, err := Allocate(context.Background(), iloc.MustParse(src), Options{Machine: target.Standard(), Mode: ModeRemat})
 	if err != nil {
 		t.Fatal(err)
 	}

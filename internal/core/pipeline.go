@@ -344,6 +344,10 @@ func (a *allocator) round() (IterationStats, bool, error) {
 	iterSpan := tel.StartSpan(telemetry.CatIteration, "iteration")
 	iterSpan.Arg("iteration", int64(a.roundNo))
 	for _, p := range allocPipeline {
+		if err := a.ctxErr(); err != nil {
+			iterSpan.End()
+			return st, false, err
+		}
 		if p.when != nil && !p.when(a, ctx) {
 			continue
 		}
@@ -394,6 +398,21 @@ func endPassSpan(sp *telemetry.Span, ps *PassStat) time.Duration {
 		}
 	}
 	return sp.End()
+}
+
+// ctxErr reports the allocation's context state as a structured
+// *AllocError (pass "context"), or nil while the context is live. The
+// pipeline consults it between passes and between iterations — the
+// boundaries where the allocator can be abandoned without leaving
+// half-mutated state, and the only places it can run for long.
+func (a *allocator) ctxErr() error {
+	if a.ctx == nil {
+		return nil
+	}
+	if err := a.ctx.Err(); err != nil {
+		return &AllocError{Routine: a.rt.Name, Pass: "context", Iteration: a.roundNo, Err: err}
+	}
+	return nil
 }
 
 // runPass executes one pipeline pass with panic containment: a panic

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -36,7 +37,7 @@ func runSame(t *testing.T, input, allocated *iloc.Routine, args ...interp.Value)
 func TestDegradationOnNonConvergence(t *testing.T) {
 	rt := iloc.MustParse(fig1Src)
 	m := target.WithRegs(3)
-	res, err := Allocate(rt, Options{Machine: m, Mode: ModeRemat, MaxIterations: 1, Verify: true})
+	res, err := Allocate(context.Background(), rt, Options{Machine: m, Mode: ModeRemat, MaxIterations: 1, Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestPanicContainment(t *testing.T) {
 	defer func() { PanicHook = nil }()
 
 	rt := iloc.MustParse(fig1Src)
-	_, err := Allocate(rt, Options{Machine: target.Standard(), Mode: ModeRemat, DisableDegradation: true})
+	_, err := Allocate(context.Background(), rt, Options{Machine: target.Standard(), Mode: ModeRemat, DisableDegradation: true})
 	if err == nil {
 		t.Fatal("expected the injected panic to surface as an error")
 	}
@@ -82,7 +83,7 @@ func TestPanicContainment(t *testing.T) {
 		t.Fatalf("error message lost the panic value: %v", err)
 	}
 
-	res, err := Allocate(rt, Options{Machine: target.Standard(), Mode: ModeRemat, Verify: true})
+	res, err := Allocate(context.Background(), rt, Options{Machine: target.Standard(), Mode: ModeRemat, Verify: true})
 	if err != nil {
 		t.Fatalf("degradation did not rescue the poisoned pipeline: %v", err)
 	}
@@ -121,7 +122,7 @@ func TestFaultInRewriteDegrades(t *testing.T) {
 	}
 	defer func() { PanicHook = nil }()
 	rt := iloc.MustParse(fig1Src)
-	res, err := Allocate(rt, Options{Machine: target.Standard(), Mode: ModeRemat, Verify: true})
+	res, err := Allocate(context.Background(), rt, Options{Machine: target.Standard(), Mode: ModeRemat, Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -16,7 +17,7 @@ func traceOf(t *testing.T, src string, opts Options) ([]telemetry.Event, *Result
 	reg := telemetry.NewRegistry()
 	tr := telemetry.NewTracer()
 	opts.Telemetry = &telemetry.Sink{Metrics: reg, Trace: tr}
-	res, err := Allocate(iloc.MustParse(src), opts)
+	res, err := Allocate(context.Background(), iloc.MustParse(src), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func BenchmarkAllocateTelemetry(b *testing.B) {
 	b.Run("off", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := Allocate(rt, Options{Machine: m, Mode: ModeRemat}); err != nil {
+			if _, err := Allocate(context.Background(), rt, Options{Machine: m, Mode: ModeRemat}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -177,7 +178,7 @@ func BenchmarkAllocateTelemetry(b *testing.B) {
 		sink := &telemetry.Sink{Metrics: telemetry.NewRegistry(), Trace: telemetry.NewTracer()}
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := Allocate(rt, Options{Machine: m, Mode: ModeRemat, Telemetry: sink}); err != nil {
+			if _, err := Allocate(context.Background(), rt, Options{Machine: m, Mode: ModeRemat, Telemetry: sink}); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -75,7 +76,7 @@ func TestCacheCounters(t *testing.T) {
 		{Name: "b", Routine: k.Routine()}, // identical content
 	}
 
-	cold := eng.Run(units)
+	cold := eng.Run(context.Background(), units)
 	if err := cold.FirstErr(); err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestCacheCounters(t *testing.T) {
 		t.Fatalf("cold stats: %+v", st)
 	}
 
-	warm := eng.Run(units)
+	warm := eng.Run(context.Background(), units)
 	if err := warm.FirstErr(); err != nil {
 		t.Fatal(err)
 	}
@@ -112,14 +113,14 @@ func TestCacheHitSemanticallyIdentical(t *testing.T) {
 		k := suite.ByName(name)
 		opts := core.Options{Machine: target.WithRegs(6), Mode: core.ModeRemat}
 
-		fresh, err := core.Allocate(k.Routine(), opts)
+		fresh, err := core.Allocate(context.Background(), k.Routine(), opts)
 		if err != nil {
 			t.Fatal(err)
 		}
 
 		eng := New(Config{Options: opts, Cache: NewCache(0)})
-		miss := eng.Run([]Unit{{Name: name, Routine: k.Routine()}})
-		hit := eng.Run([]Unit{{Name: name, Routine: k.Routine()}})
+		miss := eng.Run(context.Background(), []Unit{{Name: name, Routine: k.Routine()}})
+		hit := eng.Run(context.Background(), []Unit{{Name: name, Routine: k.Routine()}})
 		if err := miss.FirstErr(); err != nil {
 			t.Fatal(err)
 		}
@@ -155,14 +156,14 @@ func TestCacheHitSemanticallyIdentical(t *testing.T) {
 func TestCacheSnapshotIsolation(t *testing.T) {
 	k := suite.ByName("fehl")
 	eng := New(Config{Options: core.Options{Machine: target.WithRegs(6)}, Cache: NewCache(0)})
-	first := eng.Run([]Unit{{Name: "fehl", Routine: k.Routine()}}).Results[0].Result
+	first := eng.Run(context.Background(), []Unit{{Name: "fehl", Routine: k.Routine()}}).Results[0].Result
 	want := iloc.Print(first.Routine)
 
 	// Vandalize the returned clone.
 	first.Routine.Blocks[0].Instrs = nil
 	first.Routine.Name = "clobbered"
 
-	second := eng.Run([]Unit{{Name: "fehl", Routine: k.Routine()}}).Results[0]
+	second := eng.Run(context.Background(), []Unit{{Name: "fehl", Routine: k.Routine()}}).Results[0]
 	if !second.CacheHit {
 		t.Fatal("expected a hit")
 	}
@@ -181,7 +182,7 @@ func TestCacheEviction(t *testing.T) {
 		KeyFor(k, core.Options{Machine: target.WithRegs(8)}),
 		KeyFor(k, core.Options{Machine: target.WithRegs(10)}),
 	}
-	res, err := core.Allocate(k, core.Options{Machine: target.WithRegs(6)})
+	res, err := core.Allocate(context.Background(), k, core.Options{Machine: target.WithRegs(6)})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,6 +15,8 @@
 package driver
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -176,7 +178,18 @@ func (e *Engine) Cache() *Cache { return e.cfg.Cache }
 // others. Determinism: core.Allocate is deterministic, so the set of
 // results is independent of the worker count and completion order —
 // only the Stats timing fields vary between runs.
-func (e *Engine) Run(units []Unit) *Batch {
+//
+// The context bounds the whole batch. Units already being allocated
+// when it ends are aborted by the allocator's own context checks
+// (degrading with reason "deadline" on expiry, erroring on
+// cancellation); units not yet started fail immediately with ctx.Err().
+// Results of units that finished before the context ended are kept
+// unchanged, so a cancelled batch still returns every byte of work it
+// completed.
+func (e *Engine) Run(ctx context.Context, units []Unit) *Batch {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	workers := e.cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -213,9 +226,18 @@ func (e *Engine) Run(units []Unit) *Batch {
 			wsink := tel.WithTID(int64(worker + 1))
 			for i := range jobs {
 				depth.Add(-1)
+				if cerr := ctx.Err(); errors.Is(cerr, context.Canceled) {
+					// The batch was abandoned before this unit started:
+					// report the cancellation without touching the
+					// allocator or the cache. An expired *deadline* is
+					// not a skip — the unit still runs so the allocator
+					// can return its spill-everywhere degradation.
+					b.Results[i] = UnitResult{Name: units[i].Name, Err: cerr, Worker: worker}
+					continue
+				}
 				wsink.Observe("driver.queue.wait", time.Since(start).Nanoseconds())
 				sp := wsink.StartSpan(telemetry.CatUnit, units[i].Name)
-				res, hit, err := e.allocate(units[i], wsink)
+				res, hit, err := e.allocate(ctx, units[i], wsink)
 				if sp.Active() {
 					if hit {
 						sp.Arg("cache_hit", 1)
@@ -292,21 +314,21 @@ func (e *Engine) Run(units []Unit) *Batch {
 // a worker goroutine that panics would kill the whole process. Any panic
 // escaping a unit is recovered into a *core.AllocError so it fails that
 // unit alone.
-func (e *Engine) allocate(u Unit, wsink *telemetry.Sink) (res *core.Result, hit bool, err error) {
+func (e *Engine) allocate(ctx context.Context, u Unit, wsink *telemetry.Sink) (res *core.Result, hit bool, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, hit = nil, false
 			err = &core.AllocError{Routine: u.Name, Err: fmt.Errorf("driver: panic in worker: %v", r)}
 		}
 	}()
-	return e.allocateUnit(u, wsink)
+	return e.allocateUnit(ctx, u, wsink)
 }
 
 // allocateUnit handles one unit: cache lookup, allocation, cache fill.
 // The worker's sink overrides the options' own so that allocator spans
 // land on the worker's trace thread; Telemetry is excluded from the
 // cache key, so this cannot split cache entries.
-func (e *Engine) allocateUnit(u Unit, wsink *telemetry.Sink) (*core.Result, bool, error) {
+func (e *Engine) allocateUnit(ctx context.Context, u Unit, wsink *telemetry.Sink) (*core.Result, bool, error) {
 	opts := e.cfg.Options
 	if u.Options != nil {
 		opts = *u.Options
@@ -318,7 +340,7 @@ func (e *Engine) allocateUnit(u Unit, wsink *telemetry.Sink) (*core.Result, bool
 		return nil, false, fmt.Errorf("driver: unit has no routine")
 	}
 	if e.cfg.Cache == nil {
-		res, err := core.Allocate(u.Routine, opts)
+		res, err := core.Allocate(ctx, u.Routine, opts)
 		return res, false, err
 	}
 	key := KeyFor(u.Routine, opts)
@@ -327,9 +349,15 @@ func (e *Engine) allocateUnit(u Unit, wsink *telemetry.Sink) (*core.Result, bool
 		return res, true, nil
 	}
 	wsink.Instant(telemetry.CatCache, "miss")
-	res, err := core.Allocate(u.Routine, opts)
+	res, err := core.Allocate(ctx, u.Routine, opts)
 	if err != nil {
 		return nil, false, err
+	}
+	if res.Degraded && res.DegradeReason == core.DegradeReasonDeadline {
+		// A deadline-shaped degradation reflects this request's time
+		// budget, not the routine: caching it would serve spill-everywhere
+		// code to a later request with all the time in the world.
+		return res, false, nil
 	}
 	e.cfg.Cache.Put(key, res)
 	return res, false, nil
@@ -337,6 +365,6 @@ func (e *Engine) allocateUnit(u Unit, wsink *telemetry.Sink) (*core.Result, bool
 
 // Allocate runs one batch with a throwaway engine — the convenience
 // entry point for callers that do not reuse a cache.
-func Allocate(units []Unit, cfg Config) *Batch {
-	return New(cfg).Run(units)
+func Allocate(ctx context.Context, units []Unit, cfg Config) *Batch {
+	return New(cfg).Run(ctx, units)
 }

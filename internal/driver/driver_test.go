@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"runtime"
@@ -73,7 +74,7 @@ func TestBatchOrderAndWorkerSweep(t *testing.T) {
 	opts := core.Options{Machine: target.WithRegs(6), Mode: core.ModeRemat}
 	units := testUnits(t)
 
-	ref := New(Config{Options: opts, Workers: 1}).Run(units)
+	ref := New(Config{Options: opts, Workers: 1}).Run(context.Background(), units)
 	if err := ref.FirstErr(); err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestBatchOrderAndWorkerSweep(t *testing.T) {
 	}
 
 	for _, workers := range []int{2, 4, 8} {
-		got := New(Config{Options: opts, Workers: workers}).Run(units)
+		got := New(Config{Options: opts, Workers: workers}).Run(context.Background(), units)
 		if err := got.FirstErr(); err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -116,7 +117,7 @@ func TestSameRoutineTwiceDeterministic(t *testing.T) {
 		{Name: "tomcatv/b", Routine: k.Routine()},
 	}
 	for _, workers := range []int{1, 2} {
-		b := New(Config{Options: opts, Workers: workers}).Run(units)
+		b := New(Config{Options: opts, Workers: workers}).Run(context.Background(), units)
 		if err := b.FirstErr(); err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -140,7 +141,7 @@ func TestSharedInputRoutine(t *testing.T) {
 	for i := range units {
 		units[i] = Unit{Name: "sgemm", Routine: rt}
 	}
-	b := New(Config{Options: core.Options{Machine: target.WithRegs(6)}, Workers: 8}).Run(units)
+	b := New(Config{Options: core.Options{Machine: target.WithRegs(6)}, Workers: 8}).Run(context.Background(), units)
 	if err := b.FirstErr(); err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestPerUnitOptionsOverride(t *testing.T) {
 	k := suite.ByName("fehl")
 	small := core.Options{Machine: target.WithRegs(6), Mode: core.ModeRemat}
 	huge := core.Options{Machine: target.Huge(), Mode: core.ModeRemat}
-	b := New(Config{Options: small}).Run([]Unit{
+	b := New(Config{Options: small}).Run(context.Background(), []Unit{
 		{Name: "small", Routine: k.Routine()},
 		{Name: "huge", Routine: k.Routine(), Options: &huge},
 	})
@@ -181,7 +182,7 @@ func TestPerUnitOptionsOverride(t *testing.T) {
 func TestUnitErrorsDoNotStopBatch(t *testing.T) {
 	k := suite.ByName("fehl")
 	bad := core.Options{Machine: &target.Machine{Name: "broken", Regs: [iloc.NumClasses]int{1, 1}, MemCycles: 2, OtherCycles: 1}}
-	b := New(Config{Options: core.Options{Machine: target.WithRegs(6)}, Workers: 2}).Run([]Unit{
+	b := New(Config{Options: core.Options{Machine: target.WithRegs(6)}, Workers: 2}).Run(context.Background(), []Unit{
 		{Name: "ok", Routine: k.Routine()},
 		{Name: "bad-machine", Routine: k.Routine(), Options: &bad},
 		{Name: "no-routine"},
@@ -206,7 +207,7 @@ func TestUnitErrorsDoNotStopBatch(t *testing.T) {
 // TestStatsAccounting checks the batch bookkeeping: every unit is
 // attributed to exactly one worker and CPU sums the per-unit walls.
 func TestStatsAccounting(t *testing.T) {
-	b := New(Config{Options: core.Options{Machine: target.WithRegs(6)}, Workers: 3}).Run(testUnits(t))
+	b := New(Config{Options: core.Options{Machine: target.WithRegs(6)}, Workers: 3}).Run(context.Background(), testUnits(t))
 	if err := b.FirstErr(); err != nil {
 		t.Fatal(err)
 	}
@@ -245,8 +246,8 @@ func TestFullSuiteDeterminism(t *testing.T) {
 			units = append(units, Unit{Name: fmt.Sprintf("%s/callee%d", k.Name, i), Routine: crt})
 		}
 	}
-	seq := New(Config{Options: opts, Workers: 1}).Run(units)
-	par := New(Config{Options: opts, Workers: runtime.NumCPU()}).Run(units)
+	seq := New(Config{Options: opts, Workers: 1}).Run(context.Background(), units)
+	par := New(Config{Options: opts, Workers: runtime.NumCPU()}).Run(context.Background(), units)
 	if err := seq.FirstErr(); err != nil {
 		t.Fatal(err)
 	}

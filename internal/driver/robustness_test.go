@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -18,7 +19,7 @@ func TestBatchIsolatesSeededPanic(t *testing.T) {
 	units := testUnits(t)
 	cfg := Config{Options: core.Options{Machine: target.Standard(), Mode: core.ModeRemat, Verify: true}, Workers: 4}
 
-	clean := New(cfg).Run(units)
+	clean := New(cfg).Run(context.Background(), units)
 	if err := clean.FirstErr(); err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +35,7 @@ func TestBatchIsolatesSeededPanic(t *testing.T) {
 	}
 	defer func() { core.PanicHook = nil }()
 
-	faulty := New(cfg).Run(units)
+	faulty := New(cfg).Run(context.Background(), units)
 	if err := faulty.FirstErr(); err != nil {
 		t.Fatalf("seeded fault escaped degradation: %v", err)
 	}
@@ -68,7 +69,7 @@ func TestBatchIsolatesNonConvergence(t *testing.T) {
 	units := testUnits(t)
 	cfg := Config{Options: core.Options{Machine: target.Standard(), Mode: core.ModeRemat, Verify: true}, Workers: 4}
 
-	clean := New(cfg).Run(units)
+	clean := New(cfg).Run(context.Background(), units)
 	if err := clean.FirstErr(); err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestBatchIsolatesNonConvergence(t *testing.T) {
 	faultyUnits := append([]Unit(nil), units...)
 	faultyUnits[victim].Options = poisoned
 
-	faulty := New(cfg).Run(faultyUnits)
+	faulty := New(cfg).Run(context.Background(), faultyUnits)
 	if err := faulty.FirstErr(); err != nil {
 		t.Fatalf("non-convergence escaped degradation: %v", err)
 	}
@@ -115,7 +116,7 @@ func TestWorkerPanicContained(t *testing.T) {
 		Workers: 2,
 		Cache:   NewCache(0),
 	}
-	b := New(cfg).Run(units)
+	b := New(cfg).Run(context.Background(), units)
 	var failed int
 	for _, r := range b.Results {
 		if r.Err == nil {

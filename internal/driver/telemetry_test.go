@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -20,7 +21,7 @@ func TestBatchTraceCoversEveryUnit(t *testing.T) {
 		Workers:   3,
 		Telemetry: &telemetry.Sink{Metrics: reg, Trace: tr},
 	})
-	b := eng.Run(units)
+	b := eng.Run(context.Background(), units)
 	if err := b.FirstErr(); err != nil {
 		t.Fatal(err)
 	}
@@ -85,10 +86,10 @@ func TestCacheTelemetry(t *testing.T) {
 		Cache:     NewCache(0),
 		Telemetry: &telemetry.Sink{Metrics: reg, Trace: tr},
 	})
-	if err := eng.Run(units).FirstErr(); err != nil {
+	if err := eng.Run(context.Background(), units).FirstErr(); err != nil {
 		t.Fatal(err)
 	}
-	warm := eng.Run(units)
+	warm := eng.Run(context.Background(), units)
 	if err := warm.FirstErr(); err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestCacheTelemetry(t *testing.T) {
 		Options: core.Options{Machine: target.WithRegs(6), Mode: core.ModeRemat},
 		Cache:   eng.Cache(),
 	})
-	b2 := eng2.Run(units)
+	b2 := eng2.Run(context.Background(), units)
 	if err := b2.FirstErr(); err != nil {
 		t.Fatal(err)
 	}

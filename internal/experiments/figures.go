@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"strings"
 
@@ -80,7 +82,7 @@ func Figure1() (*Figure1Result, error) {
 		if err != nil {
 			return "", nil, err
 		}
-		res, err := core.Allocate(rt, core.Options{Machine: m, Mode: mode})
+		res, err := core.Allocate(context.Background(), rt, core.Options{Machine: m, Mode: mode})
 		if err != nil {
 			return "", nil, err
 		}
@@ -139,7 +141,7 @@ func Figure2() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	res, err := core.Allocate(rt, core.Options{
+	res, err := core.Allocate(context.Background(), rt, core.Options{
 		Machine: target.WithRegs(3), Mode: core.ModeRemat,
 	})
 	if err != nil {
@@ -209,7 +211,7 @@ func Figure3() (*Figure3Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Allocate(fresh, core.Options{
+	res, err := core.Allocate(context.Background(), fresh, core.Options{
 		Machine: target.Huge(), Mode: core.ModeRemat,
 	})
 	if err != nil {

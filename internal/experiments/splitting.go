@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"strings"
 
@@ -15,13 +17,13 @@ import (
 // and executes the allocated program.
 func runMode(k *suite.Kernel, m *target.Machine, mode core.Mode) (*interp.Outcome, error) {
 	opts := core.Options{Machine: m, Mode: mode}
-	res, err := core.Allocate(k.Routine(), opts)
+	res, err := core.Allocate(context.Background(), k.Routine(), opts)
 	if err != nil {
 		return nil, err
 	}
 	var callees []*iloc.Routine
 	for _, callee := range k.CalleeRoutines() {
-		cres, err := core.Allocate(callee, opts)
+		cres, err := core.Allocate(context.Background(), callee, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -76,7 +78,7 @@ func SplittingStudy(m *target.Machine) ([]SplittingRow, error) {
 		row.Baseline = plain.Cycles(int64(m.MemCycles), int64(m.OtherCycles)) - baseCycles
 
 		for _, s := range SplittingSchemes {
-			res, err := core.Allocate(k.Routine(), core.Options{Machine: m, Mode: core.ModeRemat, Split: s})
+			res, err := core.Allocate(context.Background(), k.Routine(), core.Options{Machine: m, Mode: core.ModeRemat, Split: s})
 			if err != nil {
 				return nil, fmt.Errorf("splitting %s %v: %w", k.Name, s, err)
 			}

@@ -6,6 +6,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"strings"
 
@@ -125,7 +127,7 @@ func Table1(cfg Table1Config) ([]Table1Row, error) {
 			}
 		}
 	}
-	batch := driver.New(driver.Config{Workers: cfg.Jobs, Cache: cfg.Cache}).Run(units)
+	batch := driver.New(driver.Config{Workers: cfg.Jobs, Cache: cfg.Cache}).Run(context.Background(), units)
 	if err := batch.FirstErr(); err != nil {
 		return nil, fmt.Errorf("table1: %w", err)
 	}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"strings"
 	"time"
@@ -95,7 +97,7 @@ func Table2Jobs(m *target.Machine, runs, jobs int) ([]Table2Column, error) {
 			}
 		}
 	}
-	batch := driver.New(driver.Config{Workers: jobs}).Run(units)
+	batch := driver.New(driver.Config{Workers: jobs}).Run(context.Background(), units)
 	if err := batch.FirstErr(); err != nil {
 		return nil, fmt.Errorf("table2: %w", err)
 	}

@@ -1,6 +1,7 @@
 package rgen
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -67,7 +68,7 @@ func TestAllocationPreservesSemantics(t *testing.T) {
 			for _, base := range optsList {
 				opts := base
 				opts.Machine = m
-				res, err := core.Allocate(rt, opts)
+				res, err := core.Allocate(context.Background(), rt, opts)
 				if err != nil {
 					t.Fatalf("seed %d, %s/%v/%v: %v\n%s", seed, m.Name, opts.Mode, opts.Split, err, iloc.Print(rt))
 				}
@@ -157,13 +158,13 @@ func TestProgramAllocationPreservesSemantics(t *testing.T) {
 		for _, m := range machines {
 			for _, mode := range []core.Mode{core.ModeChaitin, core.ModeRemat} {
 				opts := core.Options{Machine: m, Mode: mode}
-				aMain, err := core.Allocate(main, opts)
+				aMain, err := core.Allocate(context.Background(), main, opts)
 				if err != nil {
 					t.Fatalf("seed %d main: %v", seed, err)
 				}
 				var aCallees []*iloc.Routine
 				for _, c := range callees {
-					ac, err := core.Allocate(c, opts)
+					ac, err := core.Allocate(context.Background(), c, opts)
 					if err != nil {
 						t.Fatalf("seed %d callee: %v", seed, err)
 					}

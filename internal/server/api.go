@@ -1,0 +1,167 @@
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/target"
+)
+
+// This file is the wire schema of the allocation service: the JSON
+// bodies of POST /v1/allocate and POST /v1/batch and their responses.
+// The types are plain data so cmd/rallocload (and any other client) can
+// share them without importing the serving machinery.
+
+// AllocateRequest is the body of POST /v1/allocate: one ILOC source
+// text holding one or more routines (the multi-routine form follows
+// iloc.ParseProgram — first routine plus callees), all allocated with
+// the same options.
+type AllocateRequest struct {
+	// ILOC is the routine source in the textual form iloc.Parse accepts.
+	ILOC string `json:"iloc"`
+	// Options configures the allocation; nil means the server's default
+	// options.
+	Options *OptionsRequest `json:"options,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch: a module of named units,
+// each optionally carrying its own options (the experiment drivers mix
+// machines and modes within one batch; remote callers can too).
+type BatchRequest struct {
+	Units []BatchUnit `json:"units"`
+	// Options is the default for units that do not carry their own.
+	Options *OptionsRequest `json:"options,omitempty"`
+}
+
+// BatchUnit is one routine of a batch request.
+type BatchUnit struct {
+	// Name labels the unit in the response; empty defaults to the parsed
+	// routine's name.
+	Name string `json:"name,omitempty"`
+	// ILOC is the unit's source text (exactly one routine).
+	ILOC    string          `json:"iloc"`
+	Options *OptionsRequest `json:"options,omitempty"`
+}
+
+// OptionsRequest is the client-facing subset of core.Options. Zero
+// fields inherit the server's defaults.
+type OptionsRequest struct {
+	// Mode is "remat" (the paper, default) or "chaitin" (the baseline).
+	Mode string `json:"mode,omitempty"`
+	// Regs is the register count per class (16 = the paper's standard
+	// machine).
+	Regs int `json:"regs,omitempty"`
+	// Split names one of §6's live-range splitting schemes: "none",
+	// "all-loops", "outer-loops", "inactive-loops", "all-phis".
+	Split string `json:"split,omitempty"`
+	// Verify runs the independent post-allocation checker; nil inherits
+	// the server default (on).
+	Verify *bool `json:"verify,omitempty"`
+	// MaxIterations bounds the spill/color loop (0 = allocator default).
+	MaxIterations int `json:"max_iterations,omitempty"`
+	// Strict disables the spill-everywhere degradation: any allocator
+	// failure (including deadline expiry) becomes a per-unit error.
+	Strict bool `json:"strict,omitempty"`
+}
+
+// toOptions merges the request options over the server defaults.
+func (o *OptionsRequest) toOptions(def core.Options) (core.Options, error) {
+	opts := def
+	if o == nil {
+		return opts, nil
+	}
+	switch o.Mode {
+	case "":
+	case "remat":
+		opts.Mode = core.ModeRemat
+	case "chaitin":
+		opts.Mode = core.ModeChaitin
+	default:
+		return opts, fmt.Errorf("unknown mode %q", o.Mode)
+	}
+	if o.Regs != 0 {
+		opts.Machine = target.WithRegs(o.Regs)
+	}
+	switch o.Split {
+	case "":
+	case "none":
+		opts.Split = core.SplitNone
+	case "all-loops":
+		opts.Split = core.SplitAllLoops
+	case "outer-loops":
+		opts.Split = core.SplitOuterLoops
+	case "inactive-loops":
+		opts.Split = core.SplitInactiveLoops
+	case "all-phis":
+		opts.Split = core.SplitAtPhis
+	default:
+		return opts, fmt.Errorf("unknown split scheme %q", o.Split)
+	}
+	if o.Verify != nil {
+		opts.Verify = *o.Verify
+	}
+	if o.MaxIterations != 0 {
+		opts.MaxIterations = o.MaxIterations
+	}
+	if o.Strict {
+		opts.DisableDegradation = true
+	}
+	return opts, nil
+}
+
+// AllocateResponse is the 200 body of both allocation endpoints: one
+// UnitResponse per input routine, in input order, plus the batch stats.
+type AllocateResponse struct {
+	RequestID string         `json:"request_id"`
+	Results   []UnitResponse `json:"results"`
+	Stats     BatchStats     `json:"stats"`
+}
+
+// UnitResponse is the outcome of one routine. Exactly one of Code and
+// Error is set.
+type UnitResponse struct {
+	Name string `json:"name"`
+	// Code is the allocated routine in ILOC textual form.
+	Code string `json:"code,omitempty"`
+	// Error is the allocator failure for this unit (strict-mode faults,
+	// cancellation); the batch as a whole still returns 200.
+	Error string `json:"error,omitempty"`
+	// Verified reports that the independent post-allocation checker ran
+	// against this result and accepted it (the verifier verdict; a
+	// rejected allocation never reaches the response — it degrades or
+	// errors).
+	Verified bool `json:"verified"`
+	// Degraded marks a spill-everywhere fallback allocation;
+	// DegradeReason says why ("deadline" when the request's deadline
+	// expired mid-allocation).
+	Degraded      bool   `json:"degraded,omitempty"`
+	DegradeReason string `json:"degrade_reason,omitempty"`
+	CacheHit      bool   `json:"cache_hit,omitempty"`
+	// Per-pass totals of the instrumented pipeline.
+	Iterations int     `json:"iterations,omitempty"`
+	Spilled    int     `json:"spilled,omitempty"`
+	Remat      int     `json:"remat,omitempty"`
+	FrameWords int     `json:"frame_words,omitempty"`
+	AllocMs    float64 `json:"alloc_ms"`
+}
+
+// BatchStats summarizes the driver run behind one request.
+type BatchStats struct {
+	Routines    int     `json:"routines"`
+	Failed      int     `json:"failed"`
+	Degraded    int     `json:"degraded"`
+	CacheHits   int     `json:"cache_hits"`
+	CacheMisses int     `json:"cache_misses"`
+	Workers     int     `json:"workers"`
+	WallMs      float64 `json:"wall_ms"`
+	CPUMs       float64 `json:"cpu_ms"`
+}
+
+// ErrorResponse is the body of every non-200 the service produces.
+type ErrorResponse struct {
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
+	// RetryAfterSec accompanies 429: how long to back off before
+	// retrying (mirrors the Retry-After header).
+	RetryAfterSec int `json:"retry_after_sec,omitempty"`
+}

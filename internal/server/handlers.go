@@ -1,0 +1,199 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/iloc"
+)
+
+// handleAllocate serves POST /v1/allocate: one ILOC source text holding
+// one or more routines, all allocated under the same options.
+func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request, info *requestInfo) {
+	var req AllocateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, ErrorResponse{Error: "bad request body: " + err.Error(), RequestID: info.id})
+		return
+	}
+	if req.ILOC == "" {
+		writeError(w, http.StatusBadRequest, ErrorResponse{Error: "empty iloc source", RequestID: info.id})
+		return
+	}
+	opts, err := req.Options.toOptions(s.cfg.Options)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), RequestID: info.id})
+		return
+	}
+	routines, err := iloc.ParseProgram(req.ILOC)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, ErrorResponse{Error: "parse: " + err.Error(), RequestID: info.id})
+		return
+	}
+	units := make([]driver.Unit, len(routines))
+	verify := make([]bool, len(routines))
+	for i, rt := range routines {
+		o := opts
+		units[i] = driver.Unit{Name: rt.Name, Routine: rt, Options: &o}
+		verify[i] = o.Verify
+	}
+	s.serve(w, r, info, units, verify)
+}
+
+// handleBatch serves POST /v1/batch: named units, each optionally
+// carrying its own options.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, info *requestInfo) {
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, ErrorResponse{Error: "bad request body: " + err.Error(), RequestID: info.id})
+		return
+	}
+	if len(req.Units) == 0 {
+		writeError(w, http.StatusBadRequest, ErrorResponse{Error: "empty batch", RequestID: info.id})
+		return
+	}
+	def, err := req.Options.toOptions(s.cfg.Options)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), RequestID: info.id})
+		return
+	}
+	units := make([]driver.Unit, len(req.Units))
+	verify := make([]bool, len(req.Units))
+	for i, bu := range req.Units {
+		opts, err := bu.Options.toOptions(def)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("unit %d: %v", i, err), RequestID: info.id})
+			return
+		}
+		rt, err := iloc.Parse(bu.ILOC)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("unit %d: parse: %v", i, err), RequestID: info.id})
+			return
+		}
+		name := bu.Name
+		if name == "" {
+			name = rt.Name
+		}
+		o := opts
+		units[i] = driver.Unit{Name: name, Routine: rt, Options: &o}
+		verify[i] = o.Verify
+	}
+	s.serve(w, r, info, units, verify)
+}
+
+// serve is the shared allocation path: admission, deadline, engine run,
+// response shaping. verify[i] records whether unit i ran under the
+// post-allocation checker (a verified 200 means the checker accepted
+// the code; rejected allocations never reach a response body — they
+// degrade or error inside the allocator).
+func (s *Server) serve(w http.ResponseWriter, r *http.Request, info *requestInfo, units []driver.Unit, verify []bool) {
+	deadline, ok := s.deadlineFor(r)
+	if !ok {
+		writeError(w, http.StatusBadRequest, ErrorResponse{Error: "bad X-Deadline-Ms header", RequestID: info.id})
+		return
+	}
+
+	release, err := s.admit(r.Context().Done())
+	if err != nil {
+		sec := int(s.cfg.RetryAfter / time.Second)
+		if sec < 1 {
+			sec = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", sec))
+		writeError(w, http.StatusTooManyRequests, ErrorResponse{
+			Error:         "server saturated, retry later",
+			RequestID:     info.id,
+			RetryAfterSec: sec,
+		})
+		return
+	}
+	defer release()
+
+	// The allocation context couples the client connection (a dropped
+	// request cancels its batch) with the request's clamped deadline.
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	// The shared engine serves the common (metrics-only) path. When a
+	// tracer is installed, a per-request engine carries the request's
+	// sink instead, so batch spans land on the request's trace thread;
+	// the cache and metrics registry stay the shared ones either way.
+	eng := s.engine
+	if info.sink != nil && info.sink.Trace != nil {
+		eng = driver.New(driver.Config{
+			Options: s.cfg.Options, Workers: s.cfg.Workers, Cache: s.cfg.Cache, Telemetry: info.sink,
+		})
+	}
+	batch := eng.Run(ctx, units)
+
+	resp := AllocateResponse{
+		RequestID: info.id,
+		Results:   make([]UnitResponse, len(batch.Results)),
+		Stats: BatchStats{
+			Routines:    batch.Stats.Routines,
+			Failed:      batch.Stats.Failed,
+			Degraded:    batch.Stats.Degraded,
+			CacheHits:   batch.Stats.CacheHits,
+			CacheMisses: batch.Stats.CacheMisses,
+			Workers:     batch.Stats.Workers,
+			WallMs:      float64(batch.Stats.Wall) / float64(time.Millisecond),
+			CPUMs:       float64(batch.Stats.CPU) / float64(time.Millisecond),
+		},
+	}
+	for i, ur := range batch.Results {
+		u := UnitResponse{
+			Name:     ur.Name,
+			CacheHit: ur.CacheHit,
+			AllocMs:  float64(ur.Wall) / float64(time.Millisecond),
+		}
+		switch {
+		case ur.Err != nil:
+			u.Error = ur.Err.Error()
+		case ur.Result != nil:
+			u.Code = iloc.Print(ur.Result.Routine)
+			u.Verified = verify[i]
+			u.Degraded = ur.Result.Degraded
+			u.DegradeReason = ur.Result.DegradeReason
+			u.Iterations = len(ur.Result.Iterations)
+			u.Spilled = ur.Result.SpilledRanges
+			u.Remat = ur.Result.RematSpills
+			u.FrameWords = ur.Result.Routine.FrameWords
+		}
+		resp.Results[i] = u
+	}
+	tel := s.cfg.Telemetry
+	tel.Count("server.units", int64(batch.Stats.Routines))
+	if batch.Stats.Degraded > 0 {
+		tel.Count("server.degraded", int64(batch.Stats.Degraded))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz is liveness: the process is up and serving.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is readiness: 200 while accepting work, 503 once a drain
+// has begun (load balancers stop routing here while in-flight batches
+// finish).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// handleMetrics dumps the telemetry registry as flat "name value"
+// lines — the same format the CLIs write under -metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = s.cfg.Telemetry.Metrics.WriteTo(w)
+}

@@ -1,0 +1,329 @@
+// Package server is the allocation service: a stdlib-only HTTP layer
+// that turns the batch driver into a long-running daemon (cmd/rallocd)
+// fit for sustained traffic. It exposes the allocator as
+// POST /v1/allocate and POST /v1/batch backed by one shared
+// driver.Engine and content-addressed result cache, and wraps every
+// request in the production behaviors the one-shot CLIs never needed:
+//
+//   - Admission control. A bounded queue fronts the worker slots; a
+//     request that finds the queue full is shed immediately with
+//     429 + Retry-After instead of piling onto the run queue. Under
+//     saturation the service answers only 200 or 429 — never a hang,
+//     never an overload 5xx.
+//   - Deadlines. Each request runs under a context deadline taken from
+//     the X-Deadline-Ms header, clamped to a server maximum. The
+//     deadline is threaded through driver.Engine.Run into
+//     core.Allocate, which checks it between pipeline passes; on expiry
+//     the response carries the guaranteed-terminating spill-everywhere
+//     degradation with reason "deadline" rather than timing out empty.
+//   - Request identity. Every request gets an ID (client-supplied
+//     X-Request-ID or generated), echoed in the response header and
+//     body and attached to the request's telemetry span on its own
+//     trace thread.
+//   - Panic isolation. The allocator contains its own panics; the
+//     serving layer adds a second boundary so a handler bug fails one
+//     request with a 500, never the process.
+//   - Operational surface. /healthz (liveness), /readyz (readiness,
+//     flipped off during drain), /metrics (the telemetry registry's
+//     flat dump), and /debug/pprof + /debug/vars.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/target"
+	"repro/internal/telemetry"
+)
+
+// Config configures a Server. The zero value is usable: every field
+// has a production-shaped default.
+type Config struct {
+	// Options is the default allocation configuration; request options
+	// merge over it. A zero Options gets the standard machine, ModeRemat
+	// and Verify on — the serving default is verified allocations.
+	Options core.Options
+	// DefaultOptionsSet marks Options as deliberately zero-configured;
+	// when false and Options is entirely zero, the serving defaults
+	// above are applied.
+	DefaultOptionsSet bool
+	// Workers bounds each batch's worker pool (<= 0: GOMAXPROCS).
+	Workers int
+	// Cache is the shared content-addressed result cache; nil builds an
+	// unbounded one. Deadline-degraded results are never cached.
+	Cache *driver.Cache
+	// MaxInFlight bounds requests allocating concurrently (<= 0:
+	// GOMAXPROCS).
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for a slot beyond MaxInFlight;
+	// a request arriving with the queue full is shed with 429
+	// (< 0: no queue — shed whenever all slots are busy; 0: default
+	// 4*MaxInFlight).
+	MaxQueue int
+	// DefaultDeadline applies when the client sends no X-Deadline-Ms
+	// header (0: 30s). MaxDeadline clamps client-requested deadlines
+	// (0: 2m).
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// MaxBodyBytes bounds request bodies (0: 16 MiB).
+	MaxBodyBytes int64
+	// RetryAfter is the backoff hint sent with 429 (0: 1s).
+	RetryAfter time.Duration
+	// Telemetry receives request spans, admission metrics and the
+	// allocator/driver instrumentation. A nil sink gets a fresh metrics
+	// registry (no tracer) so /metrics always serves.
+	Telemetry *telemetry.Sink
+}
+
+func (c Config) withDefaults() Config {
+	if !c.DefaultOptionsSet && c.Options == (core.Options{}) {
+		c.Options = core.Options{Machine: target.Standard(), Mode: core.ModeRemat, Verify: true}
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case c.MaxQueue < 0:
+		c.MaxQueue = 0
+	case c.MaxQueue == 0:
+		c.MaxQueue = 4 * c.MaxInFlight
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 2 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Cache == nil {
+		c.Cache = driver.NewCache(0)
+	}
+	if c.Telemetry == nil {
+		c.Telemetry = &telemetry.Sink{Metrics: telemetry.NewRegistry()}
+	} else if c.Telemetry.Metrics == nil {
+		t := *c.Telemetry
+		t.Metrics = telemetry.NewRegistry()
+		c.Telemetry = &t
+	}
+	return c
+}
+
+// Server is the allocation service. Construct with New; the zero value
+// is not useful. A Server is safe for concurrent use — its only
+// mutable state is the admission channels, the request counter and the
+// readiness flag.
+type Server struct {
+	cfg    Config
+	engine *driver.Engine
+	mux    *http.ServeMux
+
+	// Admission: a request first takes a queue token (shed on failure),
+	// then waits for a run slot. Channel capacities are the bounds.
+	slots chan struct{}
+	queue chan struct{}
+
+	reqSeq atomic.Int64
+	ready  atomic.Bool
+}
+
+// New builds a Server and its HTTP handler tree.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg: cfg,
+		engine: driver.New(driver.Config{
+			Options:   cfg.Options,
+			Workers:   cfg.Workers,
+			Cache:     cfg.Cache,
+			Telemetry: cfg.Telemetry,
+		}),
+		slots: make(chan struct{}, cfg.MaxInFlight),
+		queue: make(chan struct{}, cfg.MaxInFlight+cfg.MaxQueue),
+	}
+	s.ready.Store(true)
+
+	s.mux = http.NewServeMux()
+	s.mux.Handle("/v1/allocate", s.instrument("/v1/allocate", s.handleAllocate))
+	s.mux.Handle("/v1/batch", s.instrument("/v1/batch", s.handleBatch))
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mux.Handle("/debug/vars", expvar.Handler())
+	return s
+}
+
+// Handler returns the service's HTTP handler tree, ready to mount on an
+// http.Server (or httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the telemetry registry backing /metrics.
+func (s *Server) Metrics() *telemetry.Registry { return s.cfg.Telemetry.Metrics }
+
+// Cache returns the shared result cache.
+func (s *Server) Cache() *driver.Cache { return s.cfg.Cache }
+
+// SetReady flips the /readyz verdict. The daemon clears it when a drain
+// begins so load balancers stop routing new work while in-flight
+// batches finish.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// errShed reports a request shed by admission control.
+var errShed = errors.New("server: saturated: admission queue full")
+
+// admit implements admission control. It returns a release function on
+// success. A full queue — or a context that ends while waiting for a
+// run slot — sheds the request: both surface as errShed and become
+// 429 + Retry-After, so a saturated server's only answers are 200 and
+// 429.
+func (s *Server) admit(done <-chan struct{}) (release func(), err error) {
+	tel := s.cfg.Telemetry
+	select {
+	case s.queue <- struct{}{}:
+	default:
+		tel.Count("server.shed", 1)
+		return nil, errShed
+	}
+	tel.Gauge("server.queue.depth").Add(1)
+	start := time.Now()
+	select {
+	case s.slots <- struct{}{}:
+	case <-done:
+		tel.Gauge("server.queue.depth").Add(-1)
+		<-s.queue
+		tel.Count("server.shed", 1)
+		return nil, errShed
+	}
+	tel.Gauge("server.queue.depth").Add(-1)
+	tel.Observe("server.queue.wait", time.Since(start).Nanoseconds())
+	tel.Gauge("server.inflight").Add(1)
+	return func() {
+		tel.Gauge("server.inflight").Add(-1)
+		<-s.slots
+		<-s.queue
+	}, nil
+}
+
+// deadlineFor resolves a request's time budget: the X-Deadline-Ms
+// header clamped to MaxDeadline, or DefaultDeadline when absent. The
+// returned bool reports a malformed header.
+func (s *Server) deadlineFor(r *http.Request) (time.Duration, bool) {
+	h := r.Header.Get("X-Deadline-Ms")
+	if h == "" {
+		return s.cfg.DefaultDeadline, true
+	}
+	var ms int64
+	if _, err := fmt.Sscanf(h, "%d", &ms); err != nil || ms <= 0 {
+		return 0, false
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d > s.cfg.MaxDeadline {
+		d = s.cfg.MaxDeadline
+	}
+	return d, true
+}
+
+// statusWriter records the status code a handler wrote so the
+// instrumentation can count outcomes per class.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps an allocation handler with the per-request
+// machinery: request ID assignment, a telemetry span on the request's
+// own trace thread, outcome counters, and panic containment (a handler
+// panic answers 500 and increments server.panics; the process lives
+// on).
+func (s *Server) instrument(name string, h func(http.ResponseWriter, *http.Request, *requestInfo)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seq := s.reqSeq.Add(1)
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = fmt.Sprintf("req-%06d", seq)
+		}
+		w.Header().Set("X-Request-ID", id)
+
+		tel := s.cfg.Telemetry
+		// Each request gets its own trace thread, named by its ID, so a
+		// trace of a busy server reads as one lane per request.
+		sink := tel.WithTID(1000 + seq)
+		if sink != nil && sink.Trace != nil {
+			sink.Trace.SetThreadName(1000+seq, id)
+		}
+		info := &requestInfo{id: id, sink: sink}
+
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		sp := sink.StartSpan(telemetry.CatServer, name)
+		defer func() {
+			if v := recover(); v != nil {
+				tel.Count("server.panics", 1)
+				// Best effort: if the handler already wrote, the client
+				// sees a truncated body; either way the process survives.
+				writeError(sw, http.StatusInternalServerError, ErrorResponse{
+					Error:     fmt.Sprintf("internal error: %v", v),
+					RequestID: id,
+				})
+			}
+			if sp.Active() {
+				sp.StrArg("id", id)
+				sp.Arg("status", int64(sw.status))
+			}
+			wall := sp.End()
+			tel.Count("server.requests", 1)
+			tel.Count(fmt.Sprintf("server.status.%dxx", sw.status/100), 1)
+			tel.Observe("server.request.wall", wall.Nanoseconds())
+		}()
+
+		if r.Method != http.MethodPost {
+			sw.Header().Set("Allow", http.MethodPost)
+			writeError(sw, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST only", RequestID: id})
+			return
+		}
+		r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
+		h(sw, r, info)
+	})
+}
+
+// requestInfo carries one request's identity through the handler chain.
+type requestInfo struct {
+	id   string
+	sink *telemetry.Sink
+}
+
+// writeJSON marshals v as the response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v) // the connection owns delivery; nothing to do on error
+}
+
+// writeError answers with the service's uniform error body.
+func writeError(w http.ResponseWriter, status int, e ErrorResponse) {
+	writeJSON(w, status, e)
+}

@@ -1,6 +1,7 @@
 package suite
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/cfg"
@@ -41,7 +42,7 @@ func TestKernelsSurviveAllocation(t *testing.T) {
 		t.Run(k.Program+"/"+k.Name, func(t *testing.T) {
 			for _, m := range machines {
 				for _, mode := range []core.Mode{core.ModeChaitin, core.ModeRemat} {
-					res, err := core.Allocate(k.Routine(), core.Options{Machine: m, Mode: mode})
+					res, err := core.Allocate(context.Background(), k.Routine(), core.Options{Machine: m, Mode: mode})
 					if err != nil {
 						t.Fatalf("%s %v: %v", m.Name, mode, err)
 					}
@@ -65,7 +66,7 @@ func TestKernelsSurviveSplittingSchemes(t *testing.T) {
 		t.Run(k.Program+"/"+k.Name, func(t *testing.T) {
 			for _, s := range schemes {
 				for _, m := range []*target.Machine{target.Standard(), target.WithRegs(6)} {
-					res, err := core.Allocate(k.Routine(), core.Options{Machine: m, Mode: core.ModeRemat, Split: s})
+					res, err := core.Allocate(context.Background(), k.Routine(), core.Options{Machine: m, Mode: core.ModeRemat, Split: s})
 					if err != nil {
 						t.Fatalf("scheme %v on %s: %v", s, m.Name, err)
 					}
@@ -112,7 +113,7 @@ func TestKernelsDefiniteAssignment(t *testing.T) {
 		if err := cfg.CheckDefined(rt); err != nil {
 			t.Errorf("%s: %v", k.Name, err)
 		}
-		res, err := core.Allocate(k.Routine(), core.Options{Machine: target.WithRegs(6), Mode: core.ModeRemat})
+		res, err := core.Allocate(context.Background(), k.Routine(), core.Options{Machine: target.WithRegs(6), Mode: core.ModeRemat})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -134,13 +135,13 @@ func TestKernelsExtremePressure(t *testing.T) {
 		k := k
 		t.Run(k.Name, func(t *testing.T) {
 			for _, mode := range []core.Mode{core.ModeChaitin, core.ModeRemat} {
-				res, err := core.Allocate(k.Routine(), core.Options{Machine: m, Mode: mode})
+				res, err := core.Allocate(context.Background(), k.Routine(), core.Options{Machine: m, Mode: mode})
 				if err != nil {
 					t.Fatalf("mode %v: %v", mode, err)
 				}
 				var callees []*iloc.Routine
 				for _, c := range k.CalleeRoutines() {
-					cr, err := core.Allocate(c, core.Options{Machine: m, Mode: mode})
+					cr, err := core.Allocate(context.Background(), c, core.Options{Machine: m, Mode: mode})
 					if err != nil {
 						t.Fatalf("mode %v callee: %v", mode, err)
 					}
@@ -166,7 +167,7 @@ func TestKernelsVerifyCleanly(t *testing.T) {
 		t.Run(k.Program+"/"+k.Name, func(t *testing.T) {
 			for _, mode := range []core.Mode{core.ModeChaitin, core.ModeRemat} {
 				opts := core.Options{Machine: target.Standard(), Mode: mode, Verify: true}
-				res, err := core.Allocate(k.Routine(), opts)
+				res, err := core.Allocate(context.Background(), k.Routine(), opts)
 				if err != nil {
 					t.Fatalf("mode %v: %v", mode, err)
 				}
@@ -175,7 +176,7 @@ func TestKernelsVerifyCleanly(t *testing.T) {
 				}
 				var callees []*iloc.Routine
 				for _, c := range k.CalleeRoutines() {
-					cr, err := core.Allocate(c, opts)
+					cr, err := core.Allocate(context.Background(), c, opts)
 					if err != nil {
 						t.Fatalf("mode %v callee %s: %v", mode, c.Name, err)
 					}

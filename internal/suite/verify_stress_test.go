@@ -1,6 +1,7 @@
 package suite
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -20,7 +21,7 @@ func TestKernelsVerifyUnderPressure(t *testing.T) {
 		t.Run(k.Program+"/"+k.Name, func(t *testing.T) {
 			for _, m := range machines {
 				for _, mode := range []core.Mode{core.ModeChaitin, core.ModeRemat} {
-					_, err := core.Allocate(k.Routine(), core.Options{
+					_, err := core.Allocate(context.Background(), k.Routine(), core.Options{
 						Machine: m, Mode: mode, Verify: true, DisableDegradation: true,
 					})
 					if err != nil {
@@ -31,7 +32,7 @@ func TestKernelsVerifyUnderPressure(t *testing.T) {
 			for _, s := range []core.SplitScheme{
 				core.SplitAllLoops, core.SplitOuterLoops, core.SplitInactiveLoops, core.SplitAtPhis,
 			} {
-				_, err := core.Allocate(k.Routine(), core.Options{
+				_, err := core.Allocate(context.Background(), k.Routine(), core.Options{
 					Machine: target.WithRegs(6), Mode: core.ModeRemat, Split: s,
 					Verify: true, DisableDegradation: true,
 				})

@@ -45,6 +45,7 @@ const (
 	CatCache     = "cache"     // result-cache hit/miss instants
 	CatVerify    = "verify"    // one post-allocation checker rule
 	CatDegrade   = "degrade"   // spill-everywhere degradation instants
+	CatServer    = "server"    // one HTTP request through internal/server
 )
 
 // Counter is a monotonically increasing metric. The zero value is ready

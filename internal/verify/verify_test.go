@@ -1,6 +1,7 @@
 package verify_test
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -61,7 +62,7 @@ entry:
 func allocate(t *testing.T, src string, opts core.Options) (input, allocated *iloc.Routine) {
 	t.Helper()
 	input = iloc.MustParse(src)
-	res, err := core.Allocate(input, opts)
+	res, err := core.Allocate(context.Background(), input, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -27,6 +27,8 @@
 package regalloc
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/ctrans"
 	"repro/internal/driver"
@@ -125,6 +127,8 @@ func MachineWithRegs(n int) *Machine { return target.WithRegs(n) }
 // Allocate maps the routine's virtual registers onto a machine. The
 // input is not modified; Result.Routine holds the allocated clone with
 // spill code inserted and register numbers equal to physical colors.
+// It is AllocateContext with context.Background(): unbounded, for
+// callers that do not need deadlines or cancellation.
 //
 // Robustness: a panic inside the allocator is contained and surfaces as
 // an *AllocError. By default a failed allocation — non-convergence, a
@@ -132,7 +136,20 @@ func MachineWithRegs(n int) *Machine { return target.WithRegs(n) }
 // degrades to a guaranteed-terminating spill-everywhere allocation with
 // Result.Degraded set; Options.DisableDegradation turns the failure
 // into an error instead.
-func Allocate(rt *Routine, opts Options) (*Result, error) { return core.Allocate(rt, opts) }
+func Allocate(rt *Routine, opts Options) (*Result, error) {
+	return core.Allocate(context.Background(), rt, opts)
+}
+
+// AllocateContext is Allocate bounded by a context: it is checked
+// between pipeline passes and spill/color iterations, so the allocator
+// never runs long past the context's end. An expired deadline degrades
+// to the spill-everywhere fallback with DegradeReason "deadline"
+// (unless Options.DisableDegradation); a cancelled context returns the
+// cancellation error. The serving layer (cmd/rallocd) relies on this to
+// give every request a hard time bound.
+func AllocateContext(ctx context.Context, rt *Routine, opts Options) (*Result, error) {
+	return core.Allocate(ctx, rt, opts)
+}
 
 // AllocError is the structured failure report of one allocation: the
 // routine, the pipeline pass, the iteration, and the underlying cause
@@ -183,9 +200,18 @@ func NewDriver(cfg DriverConfig) *Driver { return driver.New(cfg) }
 func NewResultCache(capacity int) *ResultCache { return driver.NewCache(capacity) }
 
 // AllocateBatch allocates a module — a set of routines — concurrently
-// with a throwaway engine, returning per-routine results in input order.
+// with a throwaway engine, returning per-routine results in input
+// order. It is AllocateBatchContext with context.Background().
 func AllocateBatch(units []DriverUnit, cfg DriverConfig) *DriverBatch {
-	return driver.Allocate(units, cfg)
+	return driver.Allocate(context.Background(), units, cfg)
+}
+
+// AllocateBatchContext is AllocateBatch bounded by a context: units
+// already allocating when it ends are aborted by the allocator's own
+// checks, unstarted units fail with ctx.Err(), and results finished
+// before the end are kept unchanged.
+func AllocateBatchContext(ctx context.Context, units []DriverUnit, cfg DriverConfig) *DriverBatch {
+	return driver.Allocate(ctx, units, cfg)
 }
 
 // Telemetry types (internal/telemetry): a TelemetrySink carries an

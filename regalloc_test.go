@@ -1,6 +1,7 @@
 package regalloc
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -204,7 +205,7 @@ func TestDriverFacade(t *testing.T) {
 		Workers: 4,
 		Cache:   cache,
 	})
-	batch := d.Run(units)
+	batch := d.Run(context.Background(), units)
 	if err := batch.FirstErr(); err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +221,7 @@ func TestDriverFacade(t *testing.T) {
 			t.Fatalf("%s: triple(14) = %d", r.Name, out.RetInt)
 		}
 	}
-	warm := d.Run(units)
+	warm := d.Run(context.Background(), units)
 	if warm.Stats.CacheHits != 2 {
 		t.Fatalf("warm run: %d hits", warm.Stats.CacheHits)
 	}

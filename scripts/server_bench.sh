@@ -1,0 +1,38 @@
+#!/bin/sh
+# Serving benchmark (make bench-server): boot rallocd on an ephemeral
+# port and drive it closed-loop with rallocload, writing the
+# throughput/latency snapshot to BENCH_server.json (first argument
+# overrides the output path). cmd/benchdiff gates the snapshot against
+# the committed BENCH_server_baseline.json.
+set -eu
+
+cd "$(dirname "$0")/.."
+out=${1:-BENCH_server.json}
+tmp=$(mktemp -d)
+pid=""
+trap '[ -n "$pid" ] && kill "$pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/rallocd" ./cmd/rallocd
+go build -o "$tmp/rallocload" ./cmd/rallocload
+
+"$tmp/rallocd" -addr 127.0.0.1:0 -addr-file "$tmp/addr" 2>"$tmp/rallocd.log" &
+pid=$!
+
+i=0
+while [ ! -s "$tmp/addr" ] && [ $i -lt 100 ]; do
+    i=$((i + 1))
+    sleep 0.1
+done
+if [ ! -s "$tmp/addr" ]; then
+    echo "server_bench: rallocd never wrote its address" >&2
+    cat "$tmp/rallocd.log" >&2
+    exit 1
+fi
+addr=$(cat "$tmp/addr")
+
+"$tmp/rallocload" -url "http://$addr" -input testdata/sumabs.iloc \
+    -c 4 -duration 5s -expect-verified -out "$out"
+
+kill -TERM "$pid"
+wait "$pid"
+pid=""

@@ -1,0 +1,46 @@
+#!/bin/sh
+# Serving smoke test (make smoke-server): build rallocd and rallocload,
+# boot the daemon on an ephemeral port, push one allocation from
+# testdata through it and require a verified 200, then assert that
+# SIGTERM drains and exits 0. Uses rallocload as the HTTP client so the
+# test needs nothing outside the repo and the go toolchain.
+set -eu
+
+cd "$(dirname "$0")/.."
+tmp=$(mktemp -d)
+pid=""
+trap '[ -n "$pid" ] && kill "$pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/rallocd" ./cmd/rallocd
+go build -o "$tmp/rallocload" ./cmd/rallocload
+
+"$tmp/rallocd" -addr 127.0.0.1:0 -addr-file "$tmp/addr" 2>"$tmp/rallocd.log" &
+pid=$!
+
+i=0
+while [ ! -s "$tmp/addr" ] && [ $i -lt 100 ]; do
+    i=$((i + 1))
+    sleep 0.1
+done
+if [ ! -s "$tmp/addr" ]; then
+    echo "server_smoke: rallocd never wrote its address" >&2
+    cat "$tmp/rallocd.log" >&2
+    exit 1
+fi
+addr=$(cat "$tmp/addr")
+
+# One allocation end to end. rallocload exits nonzero on any non-200/429
+# answer, an undecodable body, a failed unit, or (with -expect-verified)
+# an unverified one — exactly the smoke contract.
+"$tmp/rallocload" -url "http://$addr" -input testdata/sumabs.iloc \
+    -requests 1 -c 1 -expect-verified -out "$tmp/smoke.json"
+
+# Graceful shutdown: SIGTERM must drain in-flight work and exit 0.
+kill -TERM "$pid"
+if ! wait "$pid"; then
+    echo "server_smoke: rallocd exited nonzero on SIGTERM" >&2
+    cat "$tmp/rallocd.log" >&2
+    exit 1
+fi
+pid=""
+echo "server_smoke: ok (served on $addr, clean drain)"
