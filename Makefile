@@ -4,16 +4,17 @@
 
 GO ?= go
 
-.PHONY: check ci fmt vet build test race verify fuzz smoke-server bench bench-server benchdiff benchdiff-soft
+.PHONY: check ci fmt vet build test race verify fuzz smoke-server smoke-strategies bench bench-server benchdiff benchdiff-soft
 
-check: fmt vet build test race verify fuzz smoke-server
+check: fmt vet build test race verify fuzz smoke-strategies smoke-server
 
 # ci runs exactly what .github/workflows/ci.yml runs, in the same
-# order: the gates, the fuzz smoke, the serving smoke, the benchmark
-# snapshots, then the regression comparison against the committed
-# baselines. The comparison is soft here as in CI (shared runners are
-# noisy) — run `make benchdiff` for the hard-failing version.
-ci: fmt vet build test race fuzz smoke-server bench bench-server benchdiff-soft
+# order: the gates, the fuzz smoke, the strategy-matrix smoke, the
+# serving smoke, the benchmark snapshots, then the regression
+# comparison against the committed baselines. The comparison is soft
+# here as in CI (shared runners are noisy) — run `make benchdiff` for
+# the hard-failing version.
+ci: fmt vet build test race fuzz smoke-strategies smoke-server bench bench-server benchdiff-soft
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -48,6 +49,15 @@ verify:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 5s ./internal/iloc
 	$(GO) test -run '^$$' -fuzz FuzzAllocate -fuzztime 5s ./internal/core
+
+# smoke-strategies runs one small kernel through every registered
+# allocation strategy with the verifier on and degradation disabled:
+# each strategy must produce independently verified code.
+smoke-strategies:
+	@for s in $$($(GO) run ./cmd/ralloc -list-strategies | awk '{print $$1}'); do \
+		echo "smoke-strategies: $$s"; \
+		$(GO) run ./cmd/ralloc -strategy "$$s" -strict testdata/fig1.iloc >/dev/null || exit 1; \
+	done
 
 # smoke-server boots rallocd on an ephemeral port, pushes one verified
 # allocation through it with rallocload, and asserts a clean SIGTERM

@@ -72,7 +72,7 @@ func TestCLIRallocAllocatesFile(t *testing.T) {
 	if !strings.Contains(out, "routine sumabs") {
 		t.Fatalf("no routine in output:\n%s", out)
 	}
-	if !strings.Contains(stderr, "mode=remat") || !strings.Contains(stderr, "phases:") {
+	if !strings.Contains(stderr, "strategy=remat") || !strings.Contains(stderr, "phases:") {
 		t.Fatalf("stats missing:\n%s", stderr)
 	}
 	// The allocated code must stay within 4 registers per class.
@@ -170,6 +170,67 @@ func TestCLIRallocBadExtraArg(t *testing.T) {
 	stderr := runCmdFail(t, bin, "testdata/sumabs.iloc", "no-such-file.iloc")
 	if !strings.Contains(stderr, "no-such-file.iloc") {
 		t.Fatalf("error does not name the bad argument:\n%s", stderr)
+	}
+}
+
+func TestCLIRallocListStrategies(t *testing.T) {
+	bin := buildCmd(t, "ralloc")
+	out, _ := runCmd(t, bin, "", "-list-strategies")
+	for _, name := range []string{"chaitin", "remat", "spill-everywhere", "ssa-spill"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list-strategies lacks %q:\n%s", name, out)
+		}
+	}
+}
+
+func TestCLIRallocBadStrategyListsValid(t *testing.T) {
+	bin := buildCmd(t, "ralloc")
+	stderr := runCmdFail(t, bin, "-strategy", "linear-scan", "testdata/sumabs.iloc")
+	if !strings.Contains(stderr, `"linear-scan"`) {
+		t.Fatalf("error does not name the bad strategy:\n%s", stderr)
+	}
+	for _, name := range []string{"chaitin", "remat", "spill-everywhere", "ssa-spill"} {
+		if !strings.Contains(stderr, name) {
+			t.Errorf("error does not list valid strategy %q:\n%s", name, stderr)
+		}
+	}
+}
+
+// The default invocation and its explicit-strategy spellings are
+// byte-identical on the testdata kernels: the strategy layer is a
+// refactor of selection, not of output.
+func TestCLIRallocStrategyBackCompat(t *testing.T) {
+	bin := buildCmd(t, "ralloc")
+	for _, file := range []string{"testdata/sumabs.iloc", "testdata/fig1.iloc"} {
+		def, _ := runCmd(t, bin, "", file)
+		byStrategy, _ := runCmd(t, bin, "", "-strategy", "remat", file)
+		if def != byStrategy {
+			t.Fatalf("%s: -strategy remat differs from default:\n--- default\n%s--- strategy\n%s", file, def, byStrategy)
+		}
+		byMode, _ := runCmd(t, bin, "", "-mode", "remat", file)
+		if def != byMode {
+			t.Fatalf("%s: -mode remat differs from default", file)
+		}
+		chaitinMode, _ := runCmd(t, bin, "", "-mode", "chaitin", file)
+		chaitinStrat, _ := runCmd(t, bin, "", "-strategy", "chaitin", file)
+		if chaitinMode != chaitinStrat {
+			t.Fatalf("%s: -strategy chaitin differs from -mode chaitin", file)
+		}
+	}
+}
+
+// Every registered strategy allocates the testdata kernels under the
+// verifier with degradation disabled — the CLI leg of the all-strategy
+// acceptance sweep.
+func TestCLIRallocEveryStrategyVerifies(t *testing.T) {
+	bin := buildCmd(t, "ralloc")
+	names, _ := runCmd(t, bin, "", "-list-strategies")
+	for _, line := range strings.Split(strings.TrimSpace(names), "\n") {
+		name := strings.Fields(line)[0]
+		out, _ := runCmd(t, bin, "", "-strategy", name, "-strict", "testdata/sumabs.iloc")
+		if !strings.Contains(out, "routine sumabs") {
+			t.Errorf("strategy %s: no routine in output:\n%s", name, out)
+		}
 	}
 }
 

@@ -4,8 +4,13 @@
 // cache, and writes the measurements as JSON (BENCH_driver.json in CI;
 // see `make bench` and cmd/benchdiff for the regression gate).
 //
-//	driverbench [-out BENCH_driver.json] [-reps 3] [-mode remat] [-regs 6]
-//	            [-trace out.json] [-metrics] [-pprof addr]
+//	driverbench [-out BENCH_driver.json] [-reps 3] [-mode remat]
+//	            [-strategy spec] [-regs 6] [-trace out.json] [-metrics]
+//	            [-pprof addr]
+//
+// -strategy selects a registered allocation strategy by spec (see
+// `ralloc -list-strategies`), overriding -mode; the report records it
+// so benchmark files from different strategies never compare silently.
 //
 // The parallel leg always requests at least two workers, even on a
 // single-CPU machine: speedup must be measured against real scheduler
@@ -55,6 +60,7 @@ type report struct {
 	GoVersion     string `json:"go_version"`
 	NumCPU        int    `json:"num_cpu"`
 	Mode          string `json:"mode"`
+	Strategy      string `json:"strategy"`
 	Regs          int    `json:"regs"`
 	Routines      int    `json:"routines"`
 	Reps          int    `json:"reps"`
@@ -75,6 +81,7 @@ func main() {
 	out := flag.String("out", "BENCH_driver.json", "output file (- for stdout)")
 	reps := flag.Int("reps", 3, "repetitions per configuration (best wall time wins)")
 	mode := flag.String("mode", "remat", "allocator mode: remat or chaitin")
+	strategy := flag.String("strategy", "", "allocation strategy spec (overrides -mode; see ralloc -list-strategies)")
 	regs := flag.Int("regs", 6, "registers per class (6 = the calibrated pressure point)")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file covering the bench run")
 	metrics := flag.Bool("metrics", false, "dump the telemetry metrics registry to stderr after the run")
@@ -89,6 +96,12 @@ func main() {
 		opts.Mode = core.ModeChaitin
 	default:
 		fail(fmt.Errorf("unknown mode %q", *mode))
+	}
+	if *strategy != "" {
+		if _, err := core.LookupStrategy(*strategy); err != nil {
+			fail(err)
+		}
+		opts.Strategy = *strategy
 	}
 
 	// Telemetry: the registry always exists so expvar has something to
@@ -137,6 +150,7 @@ func main() {
 		GoVersion:     runtime.Version(),
 		NumCPU:        runtime.NumCPU(),
 		Mode:          *mode,
+		Strategy:      opts.Canonical().Strategy,
 		Regs:          *regs,
 		Routines:      len(units),
 		Reps:          *reps,

@@ -4,6 +4,7 @@
 //	experiments -tab 2            Table 2 (allocation times)
 //	experiments -fig 1..4         Figures 1-4
 //	experiments -ext splitting    the §6 splitting-scheme study
+//	experiments -ext strategies   the allocation-strategy matrix
 //	experiments -all              everything
 //
 // -regs overrides the measured machine for Table 1 and the splitting
@@ -24,7 +25,7 @@ import (
 func main() {
 	tab := flag.Int("tab", 0, "regenerate a table (1 or 2)")
 	fig := flag.Int("fig", 0, "regenerate a figure (1-4)")
-	ext := flag.String("ext", "", "extension study: splitting")
+	ext := flag.String("ext", "", "extension study: splitting or strategies")
 	sweep := flag.Bool("sweep", false, "aggregate spill cycles across register counts")
 	all := flag.Bool("all", false, "regenerate everything")
 	regs := flag.Int("regs", 0, "registers per class for Table 1 / splitting (0 = calibrated default)")
@@ -114,6 +115,16 @@ func main() {
 				return err
 			}
 			fmt.Print(experiments.FormatSplitting(rows))
+			return nil
+		})
+	}
+	if *all || *ext == "strategies" {
+		run("strategies", func() error {
+			rows, err := experiments.StrategyMatrix(m, *jobs)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatStrategyMatrix(rows, m))
 			return nil
 		})
 	}

@@ -1,12 +1,19 @@
 // Command ralloc allocates the registers of one or more ILOC routines
 // and prints the result.
 //
-//	ralloc [-mode remat|chaitin] [-regs N] [-split scheme] [-j N]
-//	       [-cache] [-c] [-stats] [-verify] [-strict]
-//	       [-trace out.json] [-metrics] [file.iloc ...]
+//	ralloc [-strategy spec] [-mode remat|chaitin] [-regs N]
+//	       [-split scheme] [-j N] [-cache] [-c] [-stats]
+//	       [-verify] [-strict] [-trace out.json] [-metrics]
+//	       [-list-strategies] [file.iloc ...]
 //
 // With no file it reads standard input; "-" names standard input
-// explicitly. Several files form a module: they are allocated
+// explicitly.
+//
+// -strategy selects a registered allocation strategy by spec: a name
+// from -list-strategies, optionally with parameters after ":"
+// ("remat:split=all-loops,no-bias"). It overrides -mode and -split; an
+// unknown name fails listing the valid ones. -list-strategies prints
+// the registered strategies, one per line, and exits. Several files form a module: they are allocated
 // concurrently by the batch driver (-j bounds the worker pool,
 // defaulting to the number of CPUs) and printed in input order, so the
 // output is byte-identical whatever the parallelism. -cache enables the
@@ -47,6 +54,8 @@ import (
 )
 
 func main() {
+	strategy := flag.String("strategy", "", "allocation strategy spec (see -list-strategies); overrides -mode and -split")
+	listStrategies := flag.Bool("list-strategies", false, "list the registered allocation strategies and exit")
 	mode := flag.String("mode", "remat", "allocator mode: remat (the paper) or chaitin (baseline)")
 	regs := flag.Int("regs", 16, "registers per class (16 = the paper's standard machine)")
 	split := flag.String("split", "none", "splitting scheme: none, all-loops, outer-loops, inactive-loops, all-phis")
@@ -59,6 +68,13 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file covering the whole run")
 	metrics := flag.Bool("metrics", false, "dump the telemetry metrics registry to stderr after the run")
 	flag.Parse()
+
+	if *listStrategies {
+		for _, s := range core.Strategies() {
+			fmt.Printf("%-18s %s\n", s.Name(), s.Description())
+		}
+		return
+	}
 
 	opts := core.Options{Machine: target.WithRegs(*regs)}
 	opts.Verify = *verify || *strict
@@ -83,6 +99,14 @@ func main() {
 		opts.Split = core.SplitAtPhis
 	default:
 		fail(fmt.Errorf("unknown split scheme %q", *split))
+	}
+	if *strategy != "" {
+		// Validate up front so a typo fails before any input is read,
+		// with the error naming every registered strategy.
+		if _, err := core.LookupStrategy(*strategy); err != nil {
+			fail(err)
+		}
+		opts.Strategy = *strategy
 	}
 
 	// Every positional argument is an input file; none means stdin.
@@ -162,8 +186,8 @@ func main() {
 			fmt.Print(iloc.Print(res.Routine))
 		}
 		if *stats {
-			fmt.Fprintf(os.Stderr, "%s: mode=%v machine=%s iterations=%d spilled=%d (remat %d) frame=%d words\n",
-				r.Name, res.Mode, res.Machine.Name, len(res.Iterations), res.SpilledRanges, res.RematSpills, res.Routine.FrameWords)
+			fmt.Fprintf(os.Stderr, "%s: strategy=%s machine=%s iterations=%d spilled=%d (remat %d) frame=%d words\n",
+				r.Name, res.Strategy, res.Machine.Name, len(res.Iterations), res.SpilledRanges, res.RematSpills, res.Routine.FrameWords)
 			t := res.TotalTimes()
 			fmt.Fprintf(os.Stderr, "phases: cfa=%v renum=%v build=%v costs=%v color=%v spill=%v total=%v\n",
 				t.CFA, t.Renumber, t.Build, t.Costs, t.Color, t.Spill, t.Total())

@@ -6,7 +6,13 @@
 //
 //	rallocload -url http://host:port [-input file.iloc] [-c 4]
 //	           [-duration 5s] [-requests N] [-deadline-ms N]
+//	           [-strategy name] [-require-strategy name]
 //	           [-expect-verified] [-out BENCH_server.json]
+//
+// -strategy sends the named allocation strategy in each request's
+// options. -require-strategy first asks GET /v1/strategies and fails
+// unless the server lists the name — the smoke test uses it to assert
+// the listing endpoint and a non-default strategy end to end.
 //
 // -requests N sends exactly N requests (spread across the workers) and
 // ignores -duration; otherwise the workers run closed-loop for
@@ -64,6 +70,8 @@ func main() {
 	duration := flag.Duration("duration", 5*time.Second, "how long to run (ignored with -requests)")
 	requests := flag.Int64("requests", 0, "send exactly this many requests instead of running for -duration")
 	deadlineMs := flag.Int("deadline-ms", 0, "X-Deadline-Ms header to send (0 = none)")
+	strategy := flag.String("strategy", "", "allocation strategy to request (empty = server default)")
+	requireStrategy := flag.String("require-strategy", "", "fail unless GET /v1/strategies lists this name")
 	expectVerified := flag.Bool("expect-verified", false, "treat an unverified unit in a 200 as an error")
 	out := flag.String("out", "BENCH_server.json", "output file (- for stdout)")
 	flag.Parse()
@@ -71,11 +79,21 @@ func main() {
 		fail(fmt.Errorf("-url is required"))
 	}
 
+	if *requireStrategy != "" {
+		if err := checkStrategyListed(*url, *requireStrategy); err != nil {
+			fail(err)
+		}
+	}
+
 	src, err := os.ReadFile(*input)
 	if err != nil {
 		fail(err)
 	}
-	body, err := json.Marshal(server.AllocateRequest{ILOC: string(src)})
+	areq := server.AllocateRequest{ILOC: string(src)}
+	if *strategy != "" {
+		areq.Options = &server.OptionsRequest{Strategy: *strategy}
+	}
+	body, err := json.Marshal(areq)
 	if err != nil {
 		fail(err)
 	}
@@ -217,6 +235,32 @@ func shoot(client *http.Client, base string, body []byte, deadlineMs int, expect
 		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return resp.StatusCode, fmt.Errorf("status %d: %s", resp.StatusCode, b)
 	}
+}
+
+// checkStrategyListed asserts GET /v1/strategies answers 200 and lists
+// the named strategy.
+func checkStrategyListed(base, name string) error {
+	resp, err := http.Get(base + "/v1/strategies")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("GET /v1/strategies: status %d: %s", resp.StatusCode, b)
+	}
+	var sr server.StrategiesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return fmt.Errorf("GET /v1/strategies: bad body: %w", err)
+	}
+	listed := make([]string, len(sr.Strategies))
+	for i, si := range sr.Strategies {
+		listed[i] = si.Name
+		if si.Name == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("GET /v1/strategies does not list %q (got %v)", name, listed)
 }
 
 func fail(err error) {

@@ -43,16 +43,28 @@ const (
 )
 
 func (m Mode) String() string {
-	if m == ModeChaitin {
+	switch m {
+	case ModeChaitin:
 		return "chaitin"
+	case ModeRemat:
+		return "remat"
 	}
-	return "remat"
+	return fmt.Sprintf("mode(%d)", int(m))
 }
 
 // Options configures an allocation.
 type Options struct {
 	Machine *target.Machine
 	Mode    Mode
+
+	// Strategy selects the allocation strategy by registered name,
+	// optionally parameterized ("remat", "chaitin", "spill-everywhere",
+	// "ssa-spill", "remat:split=all-loops,no-bias"; see strategy.go).
+	// When set it wins over Mode and the strategy's parameters shape the
+	// fields below; when empty it is derived from Mode, so existing
+	// Mode-based callers behave exactly as before. An out-of-range Mode
+	// derives an unregistered name and Allocate reports it as an error.
+	Strategy string
 
 	// DisableConservativeCoalescing keeps the splits renumber inserted
 	// (ablation switch; normally conservative coalescing runs in
@@ -103,17 +115,25 @@ func (o Options) withDefaults() Options {
 	if o.MaxIterations == 0 {
 		o.MaxIterations = 32
 	}
+	if o.Strategy == "" {
+		o.Strategy = o.Mode.String()
+	}
 	return o
 }
 
 // Canonical returns the options as Allocate uses them, with defaults
 // applied (nil Machine becomes the standard machine, zero MaxIterations
-// the default bound) and the non-semantic Telemetry sink cleared. Two
-// Options values with equal Canonical semantic fields configure
-// identical allocations — the property the driver's content-addressed
-// result cache keys on.
+// the default bound, an empty Strategy derived from Mode), the strategy
+// spec normalized and its parameters folded onto the option fields, and
+// the non-semantic Telemetry sink cleared. Two Options values with
+// equal Canonical semantic fields configure identical allocations — the
+// property the driver's content-addressed result cache keys on.
 func (o Options) Canonical() Options {
 	c := o.withDefaults()
+	if strat, err := LookupStrategy(c.Strategy); err == nil {
+		strat.applyTo(&c)
+		c.Strategy = strat.specFor(c)
+	}
 	c.Telemetry = nil
 	return c
 }
@@ -161,7 +181,10 @@ type Result struct {
 	SpilledRanges int
 	RematSpills   int
 	Mode          Mode
-	Machine       *target.Machine
+	// Strategy is the canonical spec of the strategy that produced the
+	// allocation ("remat", "ssa-spill", "remat:split=all-loops", ...).
+	Strategy string
+	Machine  *target.Machine
 	// Degraded reports that the iterated allocator failed and the
 	// routine was re-allocated by the spill-everywhere fallback;
 	// DegradeReason records why (the original failure's message).
@@ -245,6 +268,12 @@ func Allocate(ctx context.Context, rt *iloc.Routine, opts Options) (*Result, err
 		ctx = context.Background()
 	}
 	opts = opts.withDefaults()
+	strat, err := LookupStrategy(opts.Strategy)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	strat.applyTo(&opts)
+	opts.Strategy = strat.specFor(opts)
 	if err := opts.Machine.Validate(); err != nil {
 		return nil, err
 	}
@@ -253,9 +282,10 @@ func Allocate(ctx context.Context, rt *iloc.Routine, opts Options) (*Result, err
 	}
 	tel := opts.Telemetry
 	sp := tel.StartSpan(telemetry.CatAlloc, rt.Name)
-	res, err := allocateOrDegrade(ctx, rt, opts)
+	res, err := allocateOrDegrade(ctx, rt, opts, strat)
 	if sp.Active() {
 		sp.StrArg("mode", opts.Mode.String())
+		sp.StrArg("strategy", opts.Strategy)
 		if res != nil {
 			sp.Arg("iterations", int64(len(res.Iterations)))
 			sp.Arg("spilled", int64(res.SpilledRanges))
@@ -270,6 +300,7 @@ func Allocate(ctx context.Context, rt *iloc.Routine, opts Options) (*Result, err
 	}
 	sp.End()
 	tel.Count("core.allocations", 1)
+	tel.Count("core.allocations.strategy."+opts.Strategy, 1)
 	if res != nil {
 		tel.Count("core.iterations", int64(len(res.Iterations)))
 		tel.Count("core.spilled_ranges", int64(res.SpilledRanges))
@@ -281,10 +312,10 @@ func Allocate(ctx context.Context, rt *iloc.Routine, opts Options) (*Result, err
 	return res, err
 }
 
-// allocateOrDegrade is Allocate after validation: the iterated
-// allocator plus the spill-everywhere degradation path.
-func allocateOrDegrade(ctx context.Context, rt *iloc.Routine, opts Options) (*Result, error) {
-	res, err := allocate(ctx, rt, opts)
+// allocateOrDegrade is Allocate after validation: the selected
+// strategy's pipeline plus the spill-everywhere degradation path.
+func allocateOrDegrade(ctx context.Context, rt *iloc.Routine, opts Options, strat *Strategy) (*Result, error) {
+	res, err := runStrategy(ctx, rt, opts, strat)
 	if err == nil {
 		return res, nil
 	}
@@ -313,6 +344,7 @@ func allocateOrDegrade(ctx context.Context, rt *iloc.Routine, opts Options) (*Re
 		}
 	}
 	dres.Degraded = true
+	dres.Strategy = opts.Strategy
 	dres.DegradeReason = err.Error()
 	if errors.Is(err, context.DeadlineExceeded) {
 		// The fixed reason string is the contract deadline-aware callers
@@ -323,6 +355,34 @@ func allocateOrDegrade(ctx context.Context, rt *iloc.Routine, opts Options) (*Re
 	opts.Telemetry.Instant(telemetry.CatDegrade, rt.Name,
 		telemetry.Arg{Key: "reason", Str: dres.DegradeReason})
 	return dres, nil
+}
+
+// runStrategy executes one strategy's pipeline and, when requested,
+// the allocator-independent verifier over its output. A verifier
+// rejection is an allocation failure like any other — the caller
+// degrades or errors — so every strategy's output is held to the same
+// standard whatever its construction.
+func runStrategy(ctx context.Context, rt *iloc.Routine, opts Options, strat *Strategy) (*Result, error) {
+	// The context gate every strategy shares: single-pass constructions
+	// (spill-everywhere, ssa-spill) are linear and need no mid-pipeline
+	// checks, but an already-ended context must still surface — expired
+	// deadlines degrade, cancellations abort.
+	if err := ctx.Err(); err != nil {
+		return nil, &AllocError{Routine: rt.Name, Pass: "context", Err: err}
+	}
+	res, err := strat.run(ctx, rt, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Strategy = opts.Strategy
+	if opts.Verify {
+		if verr := verifyResult(rt, res, opts); verr != nil {
+			return nil, &AllocError{
+				Routine: rt.Name, Pass: "verify", Iteration: len(res.Iterations) - 1, Err: verr,
+			}
+		}
+	}
+	return res, nil
 }
 
 // allocate runs the iterated build–color–spill pipeline with panic
@@ -359,13 +419,6 @@ func allocate(ctx context.Context, rt *iloc.Routine, opts Options) (res *Result,
 			continue
 		}
 		a.res.Routine = a.rt
-		if opts.Verify {
-			if verr := verifyResult(rt, a.res, opts); verr != nil {
-				return nil, &AllocError{
-					Routine: rt.Name, Pass: "verify", Iteration: iter, Err: verr,
-				}
-			}
-		}
 		return a.res, nil
 	}
 	return nil, &AllocError{

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/disjoint"
+	"repro/internal/iloc"
+	"repro/internal/liveness"
+	"repro/internal/ssa"
+)
+
+// ssaSpill is the SSA-form spill-everywhere allocator, after Bouchez,
+// Darte and Rastello ("On the Complexity of Spill Everywhere under SSA
+// Form"): the routine is converted to pruned SSA per register class
+// (internal/ssa over the sparse liveness solution of internal/liveness,
+// per the Tavares et al. sparse-analysis framing), every SSA value is
+// spilled at its definition and reloaded at each use, and φ-nodes are
+// resolved entirely in memory — the φ's destination and arguments form a
+// congruence web that shares one frame slot, so the φ itself vanishes
+// without a copy. Out of conventional SSA (which ssa.Build produces
+// directly from non-SSA input) φ-congruent values never interfere, so
+// the shared slot is sound.
+//
+// Compared with the plain spill-everywhere construction this buys three
+// things from the SSA form: slots are per *web* rather than per original
+// register (two independent webs of one register no longer share a
+// frame word), pruned φ-insertion keeps dead merges from materializing,
+// and a value whose slot is never read — no non-φ use anywhere in its
+// web — skips its store outright. Like spillEverywhere it is a linear,
+// non-iterating construction: it terminates on any verifiable input and
+// can never spill-loop, which is what lets it stand as a first-class
+// strategy rather than only a degradation path.
+//
+// Scratch registers are colors 1 and 2 of each bank, dead between
+// instructions, so nothing is live across a call and the caller-save
+// discipline holds trivially.
+func ssaSpill(input *iloc.Routine, opts Options) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, recovered(input.Name, "ssa-spill", 0, r)
+		}
+	}()
+
+	m := opts.Machine
+	rt := input.Clone()
+	if err := cfg.Build(rt); err != nil {
+		return nil, err
+	}
+	if _, err := cfg.SplitCriticalEdges(rt); err != nil {
+		return nil, err
+	}
+	tree, _, err := cfg.Analyze(rt)
+	if err != nil {
+		return nil, err
+	}
+
+	// Liveness for both classes must precede SSA construction (the
+	// solver rejects φ-nodes), then each class converts to pruned SSA.
+	var lives [iloc.NumClasses]*liveness.Info
+	for c := iloc.Class(0); c < iloc.NumClasses; c++ {
+		lives[c] = liveness.Compute(rt, c)
+	}
+	var graphs [iloc.NumClasses]*ssa.Graph
+	for c := iloc.Class(0); c < iloc.NumClasses; c++ {
+		g, err := ssa.Build(rt, c, tree, lives[c])
+		if err != nil {
+			return nil, fmt.Errorf("core: ssa-spill: %w", err)
+		}
+		graphs[c] = g
+	}
+
+	// φ-congruence webs: union every φ destination with its arguments.
+	// The web is the unit of slot assignment; deleting the φ leaves its
+	// data flow to the shared slot.
+	var webs [iloc.NumClasses]*disjoint.Sets
+	for c := range graphs {
+		webs[c] = disjoint.New(graphs[c].NumValues)
+	}
+	for _, b := range rt.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != iloc.OpPhi {
+				continue
+			}
+			for _, arg := range in.Phi.Args {
+				webs[in.Dst.Class].Union(in.Dst.N, arg.N)
+			}
+		}
+	}
+
+	// A web's slot is read only by the non-φ uses of its values; a web
+	// with none never needs its stores (the defining instructions still
+	// execute — into a scratch color — but nothing is kept).
+	var slotRead [iloc.NumClasses][]bool
+	for c, g := range graphs {
+		slotRead[c] = make([]bool, g.NumValues)
+		for v := 1; v < g.NumValues; v++ {
+			for _, use := range g.UsesOf[v] {
+				if use.Op != iloc.OpPhi {
+					slotRead[c][webs[c].Find(v)] = true
+					break
+				}
+			}
+		}
+	}
+
+	frameBase := scanFrameBase(rt)
+	nextSlot := 0
+	var slots [iloc.NumClasses]map[int]int64
+	for c := range slots {
+		slots[c] = make(map[int]int64)
+	}
+	slotFor := func(c iloc.Class, n int) int64 {
+		root := webs[c].Find(n)
+		if off, ok := slots[c][root]; ok {
+			return off
+		}
+		off := frameBase + int64(nextSlot)*8
+		nextSlot++
+		slots[c][root] = off
+		return off
+	}
+
+	var st IterationStats
+	for _, b := range rt.Blocks {
+		out := make([]*iloc.Instr, 0, 3*len(b.Instrs))
+		for _, in := range b.Instrs {
+			if in.Op == iloc.OpPhi {
+				continue // resolved in memory: dest and args share one slot
+			}
+			// Reload each distinct spilled use into its own scratch color.
+			assigned := map[iloc.Reg]iloc.Reg{}
+			next := [iloc.NumClasses]int{1, 1}
+			for i := 0; i < in.Op.NSrc(); i++ {
+				u := in.Src[i]
+				if !u.Valid() || u.N == 0 {
+					continue
+				}
+				t, ok := assigned[u]
+				if !ok {
+					col := next[u.Class]
+					next[u.Class]++
+					if col > m.K(u.Class) {
+						return nil, fmt.Errorf("core: ssa-spill: %q needs %d scratch %s registers, machine %s has %d",
+							in, col, u.Class, m.Name, m.K(u.Class))
+					}
+					t = iloc.Reg{Class: u.Class, N: col}
+					assigned[u] = t
+					out = append(out, &iloc.Instr{
+						Op:  reloadOp(u.Class),
+						Dst: t, Src: [2]iloc.Reg{iloc.FP, iloc.NoReg},
+						Imm: slotFor(u.Class, u.N), IsSpill: true,
+					})
+					st.Spilled[u.Class]++
+				}
+				in.Src[i] = t
+			}
+			// The definition computes into scratch color 1 (written only
+			// after the sources are read); its store is elided when the
+			// web's slot is never read.
+			if d := in.Def(); d.Valid() && d.N != 0 {
+				t := iloc.Reg{Class: d.Class, N: 1}
+				in.Dst = t
+				out = append(out, in)
+				if slotRead[d.Class][webs[d.Class].Find(d.N)] {
+					out = append(out, &iloc.Instr{
+						Op:  storeOp(d.Class),
+						Dst: iloc.NoReg,
+						Src: [2]iloc.Reg{t, iloc.FP},
+						Imm: slotFor(d.Class, d.N), IsSpill: true,
+					})
+				}
+				continue
+			}
+			out = append(out, in)
+		}
+		b.Instrs = out
+	}
+
+	rt.FrameWords = int(frameBase/8) + nextSlot
+	rt.Allocated = true
+	for c := range rt.NextReg {
+		rt.NextReg[c] = m.Regs[c]
+		rt.CallerSave[c] = m.CallerSave
+	}
+
+	ranges := len(slots[iloc.ClassInt]) + len(slots[iloc.ClassFlt])
+	st.Passes = []PassStat{{Name: "ssa-spill", Spilled: ranges}}
+	return &Result{
+		Routine:       rt,
+		Iterations:    []IterationStats{st},
+		SpilledRanges: ranges,
+		Mode:          opts.Mode,
+		Machine:       m,
+	}, nil
+}

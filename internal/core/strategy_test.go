@@ -1,0 +1,232 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/iloc"
+	"repro/internal/interp"
+	"repro/internal/target"
+	"repro/internal/verify"
+)
+
+// Mode.String must name only the modes that exist; an out-of-range
+// value renders as mode(N) instead of silently claiming to be remat.
+func TestModeString(t *testing.T) {
+	cases := []struct {
+		mode Mode
+		want string
+	}{
+		{ModeChaitin, "chaitin"},
+		{ModeRemat, "remat"},
+		{Mode(7), "mode(7)"},
+		{Mode(-1), "mode(-1)"},
+	}
+	for _, c := range cases {
+		if got := c.mode.String(); got != c.want {
+			t.Errorf("Mode(%d).String() = %q, want %q", int(c.mode), got, c.want)
+		}
+	}
+}
+
+// An out-of-range Mode derives an unregistered strategy name, so it
+// surfaces as an error rather than silently allocating as remat.
+func TestAllocateRejectsUnknownMode(t *testing.T) {
+	rt := iloc.MustParse(fig1Src)
+	_, err := Allocate(context.Background(), rt, Options{Mode: Mode(7)})
+	if err == nil || !strings.Contains(err.Error(), `"mode(7)"`) {
+		t.Fatalf("Allocate with Mode(7) = %v, want unknown-strategy error", err)
+	}
+}
+
+// The registry serves the four built-ins, in registration order, and a
+// lookup miss names every valid choice.
+func TestStrategyRegistry(t *testing.T) {
+	names := StrategyNames()
+	for _, want := range []string{"chaitin", "remat", "spill-everywhere", "ssa-spill"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("registry lacks %q (have %v)", want, names)
+		}
+	}
+	if len(Strategies()) != len(names) {
+		t.Fatalf("Strategies() has %d entries, StrategyNames() %d", len(Strategies()), len(names))
+	}
+	for _, s := range Strategies() {
+		if s.Description() == "" {
+			t.Errorf("strategy %q has no description", s.Name())
+		}
+	}
+
+	_, err := LookupStrategy("bogus")
+	var use *UnknownStrategyError
+	if !errors.As(err, &use) {
+		t.Fatalf("LookupStrategy(bogus) = %v, want *UnknownStrategyError", err)
+	}
+	if len(use.Registered) < 4 || !strings.Contains(err.Error(), "ssa-spill") {
+		t.Fatalf("unknown-strategy error does not list the registry: %v", err)
+	}
+}
+
+// Parameterized specs canonicalize: every spelling of the same
+// configuration has one Spec, and parameters the strategy does not
+// accept are rejected.
+func TestStrategySpecCanonicalization(t *testing.T) {
+	a, err := LookupStrategy("remat:no-bias,split=all-loops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LookupStrategy("remat:split=all-loops,no-bias")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Spec() != b.Spec() {
+		t.Fatalf("specs differ: %q vs %q", a.Spec(), b.Spec())
+	}
+	if plain, _ := LookupStrategy("remat"); plain.Spec() != "remat" {
+		t.Fatalf("plain spec = %q", plain.Spec())
+	}
+
+	var o Options
+	a.applyTo(&o)
+	if o.Mode != ModeRemat || o.Split != SplitAllLoops || !o.DisableBiasedColoring {
+		t.Fatalf("parameters not applied: %+v", o)
+	}
+
+	for _, bad := range []string{"remat:frobnicate", "remat:split=sideways", "spill-everywhere:split=all-loops", "ssa-spill:x=1"} {
+		if _, err := LookupStrategy(bad); err == nil {
+			t.Errorf("LookupStrategy(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// Back compatibility: Mode-based options and the equivalent strategy
+// name produce byte-identical allocations, and parameterized strategy
+// specs match the loose Options fields they replace.
+func TestStrategyBackCompatByteIdentical(t *testing.T) {
+	cases := []struct {
+		name     string
+		old, new Options
+	}{
+		{"remat", Options{Mode: ModeRemat}, Options{Strategy: "remat"}},
+		{"chaitin", Options{Mode: ModeChaitin}, Options{Strategy: "chaitin"}},
+		{"remat-starved", Options{Mode: ModeRemat, Machine: target.WithRegs(3)},
+			Options{Strategy: "remat", Machine: target.WithRegs(3)}},
+		{"split-param", Options{Mode: ModeRemat, Split: SplitAllLoops},
+			Options{Strategy: "remat:split=all-loops"}},
+		{"ablation-params",
+			Options{Mode: ModeRemat, DisableBiasedColoring: true, DisableConservativeCoalescing: true},
+			Options{Strategy: "remat:no-bias,no-coalesce"}},
+		{"metric-param", Options{Mode: ModeChaitin, Metric: MetricCost},
+			Options{Strategy: "chaitin:metric=cost"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			oldRes, err := Allocate(context.Background(), iloc.MustParse(fig1Src), c.old)
+			if err != nil {
+				t.Fatal(err)
+			}
+			newRes, err := Allocate(context.Background(), iloc.MustParse(fig1Src), c.new)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := iloc.Print(newRes.Routine), iloc.Print(oldRes.Routine); got != want {
+				t.Fatalf("strategy output differs from Mode-based output:\n--- mode\n%s\n--- strategy\n%s", want, got)
+			}
+		})
+	}
+}
+
+// Every registered strategy allocates the Figure 1 kernel, passes the
+// independent verifier (standard and starved machines), computes the
+// same answer as the virtual-register input, and stamps its canonical
+// spec on the result.
+func TestEveryStrategyAllocatesAndVerifies(t *testing.T) {
+	for _, strat := range Strategies() {
+		for _, m := range []*target.Machine{target.Standard(), target.WithRegs(3)} {
+			name := strat.Name() + "@" + m.Name
+			t.Run(name, func(t *testing.T) {
+				rt := iloc.MustParse(fig1Src)
+				res, err := Allocate(context.Background(), rt,
+					Options{Strategy: strat.Name(), Machine: m, Verify: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Degraded {
+					t.Fatalf("degraded: %s", res.DegradeReason)
+				}
+				if res.Strategy != strat.Spec() {
+					t.Fatalf("Result.Strategy = %q, want %q", res.Strategy, strat.Spec())
+				}
+				if err := verify.Check(rt, res.Routine, m, verify.Options{Differential: true}); err != nil {
+					t.Fatalf("verifier rejects %s output: %v\n%s", strat.Name(), err, iloc.Print(res.Routine))
+				}
+				runSame(t, rt, res.Routine, interp.Int(4))
+			})
+		}
+	}
+}
+
+// The ssa-spill strategy's SSA-derived improvements are observable:
+// relative to plain spill-everywhere it must never execute more memory
+// traffic, and on code with a dead definition it elides the store.
+func TestSSASpillElidesDeadStores(t *testing.T) {
+	// r4 is computed and never used: spill-everywhere stores it, the
+	// SSA form sees an unread web and skips the store.
+	src := `routine deadstore()
+L0:
+    ldi r2, 7
+    ldi r3, 35
+    add r4, r2, r3
+    add r5, r3, r2
+    retr r5
+`
+	rt := iloc.MustParse(src)
+	plain, err := Allocate(context.Background(), rt.Clone(), Options{Strategy: "spill-everywhere", Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssa, err := Allocate(context.Background(), rt.Clone(), Options{Strategy: "ssa-spill", Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(r *iloc.Routine) (stores int) {
+		r.ForEachInstr(func(_ *iloc.Block, _ int, in *iloc.Instr) {
+			if in.IsSpill && (in.Op == iloc.OpStoreai || in.Op == iloc.OpFstoreai) {
+				stores++
+			}
+		})
+		return
+	}
+	if ps, ss := count(plain.Routine), count(ssa.Routine); ss >= ps {
+		t.Fatalf("ssa-spill emitted %d spill stores, plain spill-everywhere %d — dead store not elided:\n%s",
+			ss, ps, iloc.Print(ssa.Routine))
+	}
+}
+
+// Strategy resolution participates in option canonicalization: the
+// spellings of one configuration collapse, distinct strategies stay
+// distinct.
+func TestStrategyCanonicalOptions(t *testing.T) {
+	a := Options{Mode: ModeRemat}.Canonical()
+	b := Options{Strategy: "remat"}.Canonical()
+	if a.Strategy != "remat" || b.Strategy != "remat" || a.Mode != b.Mode {
+		t.Fatalf("canonical forms differ: %+v vs %+v", a, b)
+	}
+	c := Options{Strategy: "remat:split=all-loops,no-bias"}.Canonical()
+	d := Options{Strategy: "remat:no-bias,split=all-loops"}.Canonical()
+	if c.Strategy != d.Strategy || c.Split != SplitAllLoops || !c.DisableBiasedColoring {
+		t.Fatalf("parameterized canonical forms differ: %+v vs %+v", c, d)
+	}
+	e := Options{Strategy: "ssa-spill"}.Canonical()
+	if e.Strategy != "ssa-spill" {
+		t.Fatalf("ssa-spill canonical strategy = %q", e.Strategy)
+	}
+}

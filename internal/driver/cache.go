@@ -17,8 +17,11 @@ import (
 // the same source, or two Options values that differ only in
 // presentation (a machine's Name, an explicit MaxIterations equal to the
 // default), therefore share one entry, while anything that can change
-// the allocator's output — register counts, mode, splitting scheme,
-// spill metric, the ablation switches — separates keys.
+// the allocator's output — the strategy spec, register counts, mode,
+// splitting scheme, spill metric, the ablation switches — separates
+// keys. The strategy contributes its canonical Spec, so two spellings
+// of one parameterized strategy share an entry while two strategies
+// never do.
 
 // Key identifies one (routine, options) allocation in the cache.
 type Key string
@@ -39,8 +42,8 @@ func KeyFor(rt *iloc.Routine, opts core.Options) Key {
 func optionsKey(opts core.Options) string {
 	o := opts.Canonical()
 	m := o.Machine
-	return fmt.Sprintf("mode=%d regs=%d,%d callersave=%d mem=%d other=%d nocoalesce=%t nobias=%t nolookahead=%t split=%d metric=%d maxiter=%d verify=%t nodegrade=%t",
-		o.Mode, m.Regs[0], m.Regs[1], m.CallerSave, m.MemCycles, m.OtherCycles,
+	return fmt.Sprintf("strategy=%s mode=%d regs=%d,%d callersave=%d mem=%d other=%d nocoalesce=%t nobias=%t nolookahead=%t split=%d metric=%d maxiter=%d verify=%t nodegrade=%t",
+		o.Strategy, o.Mode, m.Regs[0], m.Regs[1], m.CallerSave, m.MemCycles, m.OtherCycles,
 		o.DisableConservativeCoalescing, o.DisableBiasedColoring, o.DisableLookahead,
 		o.Split, o.Metric, o.MaxIterations, o.Verify, o.DisableDegradation)
 }

@@ -222,3 +222,41 @@ func TestNilCacheIsInert(t *testing.T) {
 		t.Fatal("nil cache not inert")
 	}
 }
+
+// TestKeyStrategySeparation: the cache key separates every registered
+// strategy for identical input, ties the Mode-based spelling to its
+// strategy name, and collapses equivalent parameter spellings.
+func TestKeyStrategySeparation(t *testing.T) {
+	rt := suite.ByName("fehl").Routine()
+
+	seen := map[Key]string{}
+	for _, s := range core.Strategies() {
+		k := KeyFor(rt, core.Options{Strategy: s.Name()})
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("strategies %q and %q share a cache key", prev, s.Name())
+		}
+		seen[k] = s.Name()
+	}
+
+	// Mode-based options and the equivalent strategy name are one entry.
+	if KeyFor(rt, core.Options{Mode: core.ModeRemat}) != KeyFor(rt, core.Options{Strategy: "remat"}) {
+		t.Fatal("Mode-based and strategy-named options diverged")
+	}
+	if KeyFor(rt, core.Options{Mode: core.ModeChaitin}) != KeyFor(rt, core.Options{Strategy: "chaitin"}) {
+		t.Fatal("chaitin Mode and strategy diverged")
+	}
+
+	// Parameter spellings of one configuration collapse; a parameterized
+	// strategy separates from its base and matches the loose-field form.
+	a := KeyFor(rt, core.Options{Strategy: "remat:split=all-loops,no-bias"})
+	b := KeyFor(rt, core.Options{Strategy: "remat:no-bias,split=all-loops"})
+	if a != b {
+		t.Fatal("parameter order changed the cache key")
+	}
+	if a == KeyFor(rt, core.Options{Strategy: "remat"}) {
+		t.Fatal("parameterized strategy shares the base strategy's key")
+	}
+	if a != KeyFor(rt, core.Options{Mode: core.ModeRemat, Split: core.SplitAllLoops, DisableBiasedColoring: true}) {
+		t.Fatal("strategy parameters and loose option fields diverged")
+	}
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestStrategyMatrixShape: the matrix carries one row per registered
+// strategy, every row executed the whole suite (nonzero cycles, no
+// failures), and the iterated allocators beat the spill-everywhere
+// family on dynamic cycles.
+func TestStrategyMatrixShape(t *testing.T) {
+	rows, err := StrategyMatrix(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := core.StrategyNames()
+	if len(rows) != len(names) {
+		t.Fatalf("want %d rows, got %d", len(names), len(rows))
+	}
+	cycles := map[string]int64{}
+	for i, r := range rows {
+		if r.Strategy != names[i] {
+			t.Errorf("row %d: strategy %q, want %q (registration order)", i, r.Strategy, names[i])
+		}
+		if r.Cycles <= 0 {
+			t.Errorf("%s: no cycles measured", r.Strategy)
+		}
+		if r.Failed != 0 {
+			t.Errorf("%s: %d kernels failed", r.Strategy, r.Failed)
+		}
+		if r.Description == "" {
+			t.Errorf("%s: no description", r.Strategy)
+		}
+		cycles[r.Strategy] = r.Cycles
+	}
+	if cycles["remat"] >= cycles["spill-everywhere"] {
+		t.Errorf("remat (%d cycles) does not beat spill-everywhere (%d)",
+			cycles["remat"], cycles["spill-everywhere"])
+	}
+	if cycles["chaitin"] >= cycles["spill-everywhere"] {
+		t.Errorf("chaitin (%d cycles) does not beat spill-everywhere (%d)",
+			cycles["chaitin"], cycles["spill-everywhere"])
+	}
+
+	text := FormatStrategyMatrix(rows, nil)
+	for _, name := range names {
+		if !strings.Contains(text, name) {
+			t.Errorf("formatted matrix lacks %q:\n%s", name, text)
+		}
+	}
+	if !strings.Contains(text, "1.00x") {
+		t.Errorf("formatted matrix lacks the remat reference column:\n%s", text)
+	}
+}

@@ -46,6 +46,11 @@ type BatchUnit struct {
 // OptionsRequest is the client-facing subset of core.Options. Zero
 // fields inherit the server's defaults.
 type OptionsRequest struct {
+	// Strategy selects a registered allocation strategy by spec — a name
+	// from GET /v1/strategies, optionally with parameters
+	// ("remat:split=all-loops"). It wins over Mode when both are set; an
+	// unknown name is a 400 whose error body lists the registered names.
+	Strategy string `json:"strategy,omitempty"`
 	// Mode is "remat" (the paper, default) or "chaitin" (the baseline).
 	Mode string `json:"mode,omitempty"`
 	// Regs is the register count per class (16 = the paper's standard
@@ -70,6 +75,12 @@ func (o *OptionsRequest) toOptions(def core.Options) (core.Options, error) {
 	if o == nil {
 		return opts, nil
 	}
+	if o.Strategy != "" {
+		if _, err := core.LookupStrategy(o.Strategy); err != nil {
+			return opts, err
+		}
+		opts.Strategy = o.Strategy
+	}
 	switch o.Mode {
 	case "":
 	case "remat":
@@ -78,6 +89,11 @@ func (o *OptionsRequest) toOptions(def core.Options) (core.Options, error) {
 		opts.Mode = core.ModeChaitin
 	default:
 		return opts, fmt.Errorf("unknown mode %q", o.Mode)
+	}
+	if o.Mode != "" && o.Strategy == "" {
+		// An explicit mode without a strategy overrides any inherited
+		// batch-level strategy; the strategy re-derives from the mode.
+		opts.Strategy = ""
 	}
 	if o.Regs != 0 {
 		opts.Machine = target.WithRegs(o.Regs)
@@ -157,6 +173,18 @@ type BatchStats struct {
 	CPUMs       float64 `json:"cpu_ms"`
 }
 
+// StrategyInfo describes one registered allocation strategy in the
+// GET /v1/strategies listing.
+type StrategyInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+// StrategiesResponse is the 200 body of GET /v1/strategies.
+type StrategiesResponse struct {
+	Strategies []StrategyInfo `json:"strategies"`
+}
+
 // ErrorResponse is the body of every non-200 the service produces.
 type ErrorResponse struct {
 	Error     string `json:"error"`
@@ -164,4 +192,7 @@ type ErrorResponse struct {
 	// RetryAfterSec accompanies 429: how long to back off before
 	// retrying (mirrors the Retry-After header).
 	RetryAfterSec int `json:"retry_after_sec,omitempty"`
+	// Strategies accompanies the unknown-strategy 400: the registered
+	// strategy names a request may select.
+	Strategies []string `json:"strategies,omitempty"`
 }

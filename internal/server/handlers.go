@@ -3,19 +3,42 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/driver"
 	"repro/internal/iloc"
 )
+
+// decodeStrict decodes a request body rejecting unknown fields, so a
+// misspelled option name ("stratgy") is a 400 rather than a silent
+// fall-through to the server defaults.
+func decodeStrict(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// optionsError shapes a request-options failure as a 400. An unknown
+// strategy name additionally lists the registered names in the body so
+// a client can self-correct without a second round trip.
+func optionsError(w http.ResponseWriter, info *requestInfo, err error) {
+	resp := ErrorResponse{Error: err.Error(), RequestID: info.id}
+	var unknown *core.UnknownStrategyError
+	if errors.As(err, &unknown) {
+		resp.Strategies = unknown.Registered
+	}
+	writeError(w, http.StatusBadRequest, resp)
+}
 
 // handleAllocate serves POST /v1/allocate: one ILOC source text holding
 // one or more routines, all allocated under the same options.
 func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request, info *requestInfo) {
 	var req AllocateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := decodeStrict(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, ErrorResponse{Error: "bad request body: " + err.Error(), RequestID: info.id})
 		return
 	}
@@ -25,7 +48,7 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request, info *re
 	}
 	opts, err := req.Options.toOptions(s.cfg.Options)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), RequestID: info.id})
+		optionsError(w, info, err)
 		return
 	}
 	routines, err := iloc.ParseProgram(req.ILOC)
@@ -47,7 +70,7 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request, info *re
 // carrying its own options.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, info *requestInfo) {
 	var req BatchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := decodeStrict(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, ErrorResponse{Error: "bad request body: " + err.Error(), RequestID: info.id})
 		return
 	}
@@ -57,7 +80,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, info *reque
 	}
 	def, err := req.Options.toOptions(s.cfg.Options)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), RequestID: info.id})
+		optionsError(w, info, err)
 		return
 	}
 	units := make([]driver.Unit, len(req.Units))
@@ -65,7 +88,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, info *reque
 	for i, bu := range req.Units {
 		opts, err := bu.Options.toOptions(def)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("unit %d: %v", i, err), RequestID: info.id})
+			optionsError(w, info, fmt.Errorf("unit %d: %w", i, err))
 			return
 		}
 		rt, err := iloc.Parse(bu.ILOC)
@@ -168,6 +191,23 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, info *requestInfo
 	tel.Count("server.units", int64(batch.Stats.Routines))
 	if batch.Stats.Degraded > 0 {
 		tel.Count("server.degraded", int64(batch.Stats.Degraded))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleStrategies serves GET /v1/strategies: the registered allocation
+// strategies, in registration order, with their one-line descriptions.
+// Clients select one per request via the options "strategy" field.
+func (s *Server) handleStrategies(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "GET only"})
+		return
+	}
+	strategies := core.Strategies()
+	resp := StrategiesResponse{Strategies: make([]StrategyInfo, len(strategies))}
+	for i, st := range strategies {
+		resp.Strategies[i] = StrategyInfo{Name: st.Name(), Description: st.Description()}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

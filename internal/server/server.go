@@ -2,8 +2,10 @@
 // that turns the batch driver into a long-running daemon (cmd/rallocd)
 // fit for sustained traffic. It exposes the allocator as
 // POST /v1/allocate and POST /v1/batch backed by one shared
-// driver.Engine and content-addressed result cache, and wraps every
-// request in the production behaviors the one-shot CLIs never needed:
+// driver.Engine and content-addressed result cache (with
+// GET /v1/strategies listing the registered allocation strategies a
+// request may select), and wraps every request in the production
+// behaviors the one-shot CLIs never needed:
 //
 //   - Admission control. A bounded queue fronts the worker slots; a
 //     request that finds the queue full is shed immediately with
@@ -159,6 +161,7 @@ func New(cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.Handle("/v1/allocate", s.instrument("/v1/allocate", s.handleAllocate))
 	s.mux.Handle("/v1/batch", s.instrument("/v1/batch", s.handleBatch))
+	s.mux.HandleFunc("/v1/strategies", s.handleStrategies)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)

@@ -9,7 +9,8 @@
 //   - ILOC, the paper's low-level intermediate language (Parse, Print,
 //     Verify, the Builder);
 //   - the allocator itself (Allocate with ModeChaitin for the paper's
-//     baseline or ModeRemat for its contribution);
+//     baseline or ModeRemat for its contribution, or any registered
+//     strategy by name via Options.Strategy — see Strategies);
 //   - the execution harness that replaces the paper's translate-to-C
 //     methodology (Run, NewEnv) plus the Figure 4 C translator
 //     (TranslateC);
@@ -77,6 +78,44 @@ const (
 	// coloring (the "Rematerialization" column of Table 1).
 	ModeRemat = core.ModeRemat
 )
+
+// Strategy is a named, registered allocation pipeline: the unit of
+// selection for Options.Strategy, the server's per-request "strategy"
+// field and the CLIs' -strategy flag. The built-ins are "chaitin",
+// "remat" (whose split/metric/ablation variants are strategy
+// parameters, e.g. "remat:split=all-loops,no-bias"), "spill-everywhere"
+// and "ssa-spill". An Options value with only Mode set resolves to the
+// matching strategy, so existing callers allocate byte-identically.
+type Strategy = core.Strategy
+
+// UnknownStrategyError reports a strategy lookup miss; Registered lists
+// every valid name.
+type UnknownStrategyError = core.UnknownStrategyError
+
+// Strategies lists the registered allocation strategies in registration
+// order.
+func Strategies() []*Strategy { return core.Strategies() }
+
+// StrategyNames lists the registered strategy names in registration
+// order.
+func StrategyNames() []string { return core.StrategyNames() }
+
+// StrategyByName resolves a strategy spec — a registered name,
+// optionally with ":"-prefixed parameters ("remat:split=all-loops").
+// A miss returns *UnknownStrategyError listing the valid names.
+func StrategyByName(spec string) (*Strategy, error) { return core.LookupStrategy(spec) }
+
+// NewStrategy builds an allocation strategy for RegisterStrategy: run
+// is the whole pipeline, apply (optional) shapes the options first.
+func NewStrategy(name, description string, apply func(o *Options), run func(ctx context.Context, rt *Routine, opts Options) (*Result, error)) *Strategy {
+	return core.NewStrategy(name, description, apply, run)
+}
+
+// RegisterStrategy adds a strategy to the registry, making it
+// selectable by name through Options.Strategy, the server and the
+// CLIs. Duplicate or malformed registrations panic; register at init
+// time.
+func RegisterStrategy(s *Strategy) { core.RegisterStrategy(s) }
 
 // Execution harness types.
 type (
@@ -310,6 +349,23 @@ func Figure3() (*experiments.Figure3Result, error) { return experiments.Figure3(
 
 // Figure4 renders the ILOC-and-instrumented-C figure.
 func Figure4() (string, error) { return experiments.FormatFigure4() }
+
+// StrategyMatrixRow is one line of the allocation-strategy matrix: one
+// registered strategy's dynamic cycle count and allocator totals over
+// the full suite.
+type StrategyMatrixRow = experiments.StrategyMatrixRow
+
+// StrategyMatrix compares every registered allocation strategy by
+// dynamic cycle count over the full kernel suite (nil machine = the
+// calibrated 6-register pressure point; jobs bounds the batch workers).
+func StrategyMatrix(m *Machine, jobs int) ([]StrategyMatrixRow, error) {
+	return experiments.StrategyMatrix(m, jobs)
+}
+
+// FormatStrategyMatrix renders the matrix.
+func FormatStrategyMatrix(rows []StrategyMatrixRow, m *Machine) string {
+	return experiments.FormatStrategyMatrix(rows, m)
+}
 
 // SplittingRow is one line of the §6 splitting-scheme study.
 type SplittingRow = experiments.SplittingRow

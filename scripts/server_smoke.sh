@@ -35,6 +35,14 @@ addr=$(cat "$tmp/addr")
 "$tmp/rallocload" -url "http://$addr" -input testdata/sumabs.iloc \
     -requests 1 -c 1 -expect-verified -out "$tmp/smoke.json"
 
+# The strategy surface: GET /v1/strategies must list ssa-spill
+# (-require-strategy), and selecting that non-default strategy
+# per-request must still serve a verified 200.
+"$tmp/rallocload" -url "http://$addr" -input testdata/sumabs.iloc \
+    -requests 1 -c 1 -expect-verified \
+    -require-strategy ssa-spill -strategy ssa-spill \
+    -out "$tmp/smoke_strategy.json"
+
 # Graceful shutdown: SIGTERM must drain in-flight work and exit 0.
 kill -TERM "$pid"
 if ! wait "$pid"; then
