@@ -4,17 +4,17 @@
 
 GO ?= go
 
-.PHONY: check ci fmt vet build test race verify fuzz smoke-server smoke-strategies bench bench-server benchdiff benchdiff-soft
+.PHONY: check ci fmt vet build test race verify fuzz smoke-server smoke-store smoke-strategies bench bench-server benchdiff benchdiff-soft
 
-check: fmt vet build test race verify fuzz smoke-strategies smoke-server
+check: fmt vet build test race verify fuzz smoke-strategies smoke-server smoke-store
 
 # ci runs exactly what .github/workflows/ci.yml runs, in the same
 # order: the gates, the fuzz smoke, the strategy-matrix smoke, the
-# serving smoke, the benchmark snapshots, then the regression
-# comparison against the committed baselines. The comparison is soft
-# here as in CI (shared runners are noisy) — run `make benchdiff` for
-# the hard-failing version.
-ci: fmt vet build test race fuzz smoke-strategies smoke-server bench bench-server benchdiff-soft
+# serving smoke, the persistent-cache smoke, the benchmark snapshots,
+# then the regression comparison against the committed baselines. The
+# comparison is soft here as in CI (shared runners are noisy) — run
+# `make benchdiff` for the hard-failing version.
+ci: fmt vet build test race fuzz smoke-strategies smoke-server smoke-store bench bench-server benchdiff-soft
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -64,6 +64,13 @@ smoke-strategies:
 # drain.
 smoke-server:
 	sh scripts/server_smoke.sh
+
+# smoke-store proves the persistent cache tier end to end: a daemon
+# restart serves byte-identical disk-tier hits; a bundle exported over
+# GET /v1/cache/bundle warms a fresh daemon before its first request;
+# a deliberately corrupted entry is quarantined and never served.
+smoke-store:
+	sh scripts/store_smoke.sh
 
 # bench runs the go-test benchmark suite, then the batch-driver
 # benchmark, which snapshots routines/sec, parallel speedup and cache

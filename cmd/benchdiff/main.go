@@ -58,6 +58,19 @@ type serverReport struct {
 	RequestsPerSec float64 `json:"requests_per_sec"`
 	P50Ms          float64 `json:"p50_ms"`
 	P99Ms          float64 `json:"p99_ms"`
+	// Phases is rallocload's -phases breakdown (e.g. cold,warm). When
+	// both reports carry a phase of the same name, that phase gates on
+	// its own figures — so a warm-path regression cannot hide inside a
+	// healthy aggregate.
+	Phases []serverPhase `json:"phases"`
+}
+
+// serverPhase is one -phases leg of a rallocload report.
+type serverPhase struct {
+	Name           string  `json:"name"`
+	Errors         int64   `json:"errors"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	P99Ms          float64 `json:"p99_ms"`
 }
 
 // sniff distinguishes the two report shapes by their distinctive keys.
@@ -222,6 +235,22 @@ func compareServer(basePath, curPath string, threshold float64, github bool) (bo
 	}
 	gate("req/s", base.RequestsPerSec, cur.RequestsPerSec, false)
 	gate("p99_ms", base.P99Ms, cur.P99Ms, true)
+	// Per-phase gating: only phases present in both reports compare —
+	// a baseline minted before -phases existed still gates the
+	// aggregate, and a renamed phase surfaces as a note, not a miss.
+	basePhases := make(map[string]serverPhase, len(base.Phases))
+	for _, p := range base.Phases {
+		basePhases[p.Name] = p
+	}
+	for _, p := range cur.Phases {
+		bp, ok := basePhases[p.Name]
+		if !ok {
+			fmt.Printf("benchdiff: note: phase %q has no baseline — add one by re-minting %s\n", p.Name, basePath)
+			continue
+		}
+		gate(p.Name+" req/s", bp.RequestsPerSec, p.RequestsPerSec, false)
+		gate(p.Name+" p99_ms", bp.P99Ms, p.P99Ms, true)
+	}
 	if cur.Errors > 0 {
 		regressed = true
 		fmt.Printf("benchdiff: %s: %d request(s) violated the serving contract\n", curPath, cur.Errors)

@@ -5,12 +5,19 @@
 // see `make bench` and cmd/benchdiff for the regression gate).
 //
 //	driverbench [-out BENCH_driver.json] [-reps 3] [-mode remat]
-//	            [-strategy spec] [-regs 6] [-trace out.json] [-metrics]
-//	            [-pprof addr]
+//	            [-strategy spec] [-regs 6] [-cache-dir dir]
+//	            [-trace out.json] [-metrics] [-pprof addr]
 //
 // -strategy selects a registered allocation strategy by spec (see
 // `ralloc -list-strategies`), overriding -mode; the report records it
 // so benchmark files from different strategies never compare silently.
+//
+// -cache-dir backs the warm-cache leg with the persistent disk tier
+// (internal/store) instead of a plain in-memory cache, and adds a
+// disk_warm leg: each rep runs with a fresh (empty) L1 over the
+// populated disk tier, so the measurement is the pure
+// read-decode-reparse cost of a disk hit. The report's cache_stats
+// carries the per-tier counters either way.
 //
 // The parallel leg always requests at least two workers, even on a
 // single-CPU machine: speedup must be measured against real scheduler
@@ -38,6 +45,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/driver"
+	"repro/internal/store"
 	"repro/internal/suite"
 	"repro/internal/target"
 	"repro/internal/telemetry"
@@ -68,6 +76,13 @@ type report struct {
 	Sequential runMeasure `json:"sequential"`
 	Parallel   runMeasure `json:"parallel"`
 	WarmCache  runMeasure `json:"warm_cache"`
+	// DiskWarm measures serving from the persistent disk tier through a
+	// fresh, empty L1 (only with -cache-dir): every hit pays the disk
+	// read, integrity check and re-parse.
+	DiskWarm *runMeasure `json:"disk_warm,omitempty"`
+	// CacheStats is the per-tier cache counter snapshot after the warm
+	// legs (L2 fields stay zero without -cache-dir).
+	CacheStats *store.Stats `json:"cache_stats,omitempty"`
 
 	// Speedup is parallel over sequential wall time; CacheSpeedup warm
 	// over cold parallel. On a single-CPU host Speedup hovers near 1 —
@@ -83,6 +98,7 @@ func main() {
 	mode := flag.String("mode", "remat", "allocator mode: remat or chaitin")
 	strategy := flag.String("strategy", "", "allocation strategy spec (overrides -mode; see ralloc -list-strategies)")
 	regs := flag.Int("regs", 6, "registers per class (6 = the calibrated pressure point)")
+	cacheDir := flag.String("cache-dir", "", "back the warm-cache leg with a persistent disk tier in this directory (adds the disk_warm leg)")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file covering the bench run")
 	metrics := flag.Bool("metrics", false, "dump the telemetry metrics registry to stderr after the run")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
@@ -161,8 +177,21 @@ func main() {
 	rep.Sequential = measureCold(units, opts, sink, 1, *reps)
 	rep.Parallel = measureCold(units, opts, sink, par, *reps)
 
-	// Warm: fill a cache once, then measure the fully cached batch.
-	cache := driver.NewCache(0)
+	// Warm: fill a cache once, then measure the fully cached batch. With
+	// -cache-dir the cache is the tiered store, so the fill also
+	// populates the disk tier for the disk_warm leg below.
+	var cache driver.ResultCache
+	var tiered *store.Tiered
+	if *cacheDir != "" {
+		var err error
+		tiered, err = store.Open(*cacheDir, 0)
+		if err != nil {
+			fail(err)
+		}
+		cache = tiered
+	} else {
+		cache = driver.NewCache(0)
+	}
 	warmEng := driver.New(driver.Config{Options: opts, Workers: par, Cache: cache, Telemetry: sink})
 	if err := warmEng.Run(context.Background(), units).FirstErr(); err != nil {
 		fail(err)
@@ -179,6 +208,37 @@ func main() {
 	}
 	rep.WarmCache = toMeasure(best, par)
 	rep.WarmCache.CacheHitRate = float64(best.CacheHits) / float64(best.CacheHits+best.CacheMisses)
+
+	if tiered != nil {
+		// Disk-warm: every rep gets a fresh, empty L1 over the populated
+		// disk tier, so each hit pays the full L2 path. The flush first
+		// guarantees the fill has landed on disk.
+		tiered.Flush()
+		diskBest := driver.Stats{}
+		for r := 0; r < *reps; r++ {
+			fresh := store.NewTiered(driver.NewCache(0), tiered.Disk())
+			b := driver.New(driver.Config{Options: opts, Workers: par, Cache: fresh, Telemetry: sink}).Run(context.Background(), units)
+			if err := b.FirstErr(); err != nil {
+				fail(err)
+			}
+			if b.Stats.CacheDiskHits == 0 {
+				fail(fmt.Errorf("disk_warm rep %d: no disk-tier hits (persistence broken?)", r))
+			}
+			if diskBest.Wall == 0 || b.Stats.Wall < diskBest.Wall {
+				diskBest = b.Stats
+			}
+		}
+		dm := toMeasure(diskBest, par)
+		dm.CacheHitRate = float64(diskBest.CacheHits) / float64(diskBest.CacheHits+diskBest.CacheMisses)
+		rep.DiskWarm = &dm
+		st := tiered.Stats()
+		rep.CacheStats = &st
+		tiered.PublishMetrics(sink.Metrics)
+		tiered.Close()
+	} else if c, ok := cache.(*driver.Cache); ok {
+		cs := c.Stats()
+		rep.CacheStats = &store.Stats{L1: cs, L1HitRate: cs.HitRate()}
+	}
 
 	if rep.Parallel.WallMs > 0 {
 		rep.Speedup = rep.Sequential.WallMs / rep.Parallel.WallMs

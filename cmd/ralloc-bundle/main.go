@@ -1,0 +1,211 @@
+// Command ralloc-bundle manages cache bundles: portable tar.gz
+// snapshots of the allocation service's persistent result cache
+// (internal/store). A bundle exported from a warm replica can be
+// imported into a cold one — or handed to `rallocd -warm-from` — so a
+// fresh daemon serves cache hits from its first request.
+//
+//	ralloc-bundle export -cache-dir DIR [-out bundle.tar.gz]
+//	ralloc-bundle export -url http://host:port [-out bundle.tar.gz]
+//	ralloc-bundle import -cache-dir DIR bundle.tar.gz
+//	ralloc-bundle inspect bundle.tar.gz
+//
+// export snapshots a cache directory, or fetches GET /v1/cache/bundle
+// from a running rallocd (-url). import installs a bundle's entries
+// into a cache directory, validating each one; corrupt entries are
+// skipped and counted, never installed. inspect lists every entry —
+// key, routine, strategy, options — without touching any cache, and
+// exits nonzero if the bundle contains an invalid entry.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/store"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "export":
+		cmdExport(os.Args[2:])
+	case "import":
+		cmdImport(os.Args[2:])
+	case "inspect":
+		cmdInspect(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "ralloc-bundle: unknown command %q\n\n", os.Args[1])
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  ralloc-bundle export -cache-dir DIR [-out bundle.tar.gz]   snapshot a cache directory
+  ralloc-bundle export -url BASE     [-out bundle.tar.gz]    fetch BASE/v1/cache/bundle from a running rallocd
+  ralloc-bundle import -cache-dir DIR bundle.tar.gz          install a bundle's valid entries
+  ralloc-bundle inspect bundle.tar.gz                        list entries without installing
+`)
+	os.Exit(2)
+}
+
+func cmdExport(args []string) {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	dir := fs.String("cache-dir", "", "cache directory to snapshot")
+	url := fs.String("url", "", "base URL of a running rallocd (fetches /v1/cache/bundle)")
+	out := fs.String("out", "bundle.tar.gz", "output file (- for stdout)")
+	_ = fs.Parse(args)
+	if (*dir == "") == (*url == "") {
+		fail(fmt.Errorf("export: exactly one of -cache-dir and -url is required"))
+	}
+
+	w, closeOut := openOut(*out)
+	var n int
+	if *dir != "" {
+		disk, err := store.OpenDisk(*dir)
+		if err != nil {
+			fail(err)
+		}
+		defer disk.Close()
+		n, err = disk.ExportBundle(w)
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		var err error
+		n, err = fetchBundle(strings.TrimSuffix(*url, "/")+"/v1/cache/bundle", w)
+		if err != nil {
+			fail(err)
+		}
+	}
+	closeOut()
+	fmt.Fprintf(os.Stderr, "ralloc-bundle: exported %d entr%s to %s\n", n, plural(n), *out)
+}
+
+// fetchBundle streams a running daemon's bundle endpoint to w and
+// counts its entries by inspecting the stream as it passes through.
+func fetchBundle(url string, w io.Writer) (int, error) {
+	client := &http.Client{Timeout: 5 * time.Minute}
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return 0, fmt.Errorf("GET %s: status %d: %s", url, resp.StatusCode, b)
+	}
+	// Tee the download through InspectBundle so the count reported to
+	// the operator reflects what actually arrived.
+	pr, pw := io.Pipe()
+	count := make(chan int, 1)
+	go func() {
+		entries, _ := store.InspectBundle(pr)
+		_, _ = io.Copy(io.Discard, pr)
+		count <- len(entries)
+	}()
+	if _, err := io.Copy(io.MultiWriter(w, pw), resp.Body); err != nil {
+		pw.CloseWithError(err)
+		<-count
+		return 0, err
+	}
+	pw.Close()
+	return <-count, nil
+}
+
+func cmdImport(args []string) {
+	fs := flag.NewFlagSet("import", flag.ExitOnError)
+	dir := fs.String("cache-dir", "", "cache directory to install into (created if missing)")
+	_ = fs.Parse(args)
+	if *dir == "" || fs.NArg() != 1 {
+		fail(fmt.Errorf("import: want -cache-dir DIR and one bundle file"))
+	}
+	disk, err := store.OpenDisk(*dir)
+	if err != nil {
+		fail(err)
+	}
+	defer disk.Close()
+	st, err := disk.WarmFrom(fs.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "ralloc-bundle: imported %d entr%s into %s (%d replaced, %d corrupt skipped, %d ignored)\n",
+		st.Imported, plural(st.Imported), *dir, st.Replaced, st.Skipped, st.Ignored)
+	if st.Skipped > 0 {
+		fail(fmt.Errorf("import: %d corrupt entr%s skipped", st.Skipped, plural(st.Skipped)))
+	}
+}
+
+func cmdInspect(args []string) {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		fail(fmt.Errorf("inspect: want one bundle file"))
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	entries, err := store.InspectBundle(f)
+	if err != nil {
+		fail(err)
+	}
+	invalid := 0
+	for _, e := range entries {
+		if !e.Valid {
+			invalid++
+			fmt.Printf("%s  INVALID  %s\n", e.Key, e.Err)
+			continue
+		}
+		fmt.Printf("%s  %-16s  %-24s  %6d code bytes  %s\n",
+			e.Key, e.Name, orDefault(e.Strategy, "(default)"), e.CodeBytes, e.OptionsKey)
+	}
+	fmt.Printf("entries %d invalid %d\n", len(entries), invalid)
+	if invalid > 0 {
+		os.Exit(1)
+	}
+}
+
+func openOut(path string) (io.Writer, func()) {
+	if path == "-" {
+		return os.Stdout, func() {}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	return f, func() {
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return "y"
+	}
+	return "ies"
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ralloc-bundle:", err)
+	os.Exit(1)
+}

@@ -49,6 +49,7 @@ import (
 	"repro/internal/ctrans"
 	"repro/internal/driver"
 	"repro/internal/iloc"
+	"repro/internal/store"
 	"repro/internal/target"
 	"repro/internal/telemetry"
 )
@@ -61,6 +62,7 @@ func main() {
 	split := flag.String("split", "none", "splitting scheme: none, all-loops, outer-loops, inactive-loops, all-phis")
 	jobs := flag.Int("j", 0, "worker pool size for multi-file batches (0 = number of CPUs)")
 	cache := flag.Bool("cache", false, "reuse allocations of identical routines (content-addressed cache)")
+	cacheDir := flag.String("cache-dir", "", "persist the result cache on disk under this directory, shared across runs (implies -cache)")
 	emitC := flag.Bool("c", false, "emit instrumented C instead of ILOC")
 	stats := flag.Bool("stats", false, "print allocation statistics")
 	verify := flag.Bool("verify", false, "run the post-allocation verifier on every result")
@@ -128,7 +130,18 @@ func main() {
 	}
 
 	cfg := driver.Config{Options: opts, Workers: *jobs}
-	if *cache {
+	var tiered *store.Tiered
+	switch {
+	case *cacheDir != "":
+		var err error
+		// The CLI keeps its historical unbounded L1 (0): a one-shot
+		// process cannot outgrow it the way a daemon can.
+		tiered, err = store.Open(*cacheDir, 0)
+		if err != nil {
+			fail(err)
+		}
+		cfg.Cache = tiered
+	case *cache:
 		cfg.Cache = driver.NewCache(0)
 	}
 	var sink *telemetry.Sink
@@ -147,6 +160,9 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	batch := driver.New(cfg).Run(ctx, units)
+	// Land write-behind disk entries before the process exits; the next
+	// run on the same -cache-dir then starts warm.
+	tiered.Close()
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
@@ -196,8 +212,14 @@ func main() {
 	}
 	if *stats {
 		fmt.Fprint(os.Stderr, batch.Stats.Format())
-		if cfg.Cache != nil {
-			cs := cfg.Cache.Stats()
+		switch {
+		case tiered != nil:
+			ss := tiered.Stats()
+			fmt.Fprintf(os.Stderr, "cache: l1 %d entries, %d hits, %d misses (%.0f%% hit rate); l2 %d entries, %d hits, %d misses, %d quarantined\n",
+				ss.L1.Entries, ss.L1.Hits, ss.L1.Misses, 100*ss.L1HitRate,
+				ss.L2.Entries, ss.L2.Hits, ss.L2.Misses, ss.Quarantined)
+		case cfg.Cache != nil:
+			cs := cfg.Cache.(*driver.Cache).Stats()
 			fmt.Fprintf(os.Stderr, "cache: %d entries, %d hits, %d misses, %d evictions (%.0f%% hit rate)\n",
 				cs.Entries, cs.Hits, cs.Misses, cs.Evictions, 100*cs.HitRate())
 		}

@@ -3,13 +3,23 @@
 //
 //	rallocd [-addr host:port] [-addr-file path] [-mode remat|chaitin]
 //	        [-regs N] [-verify=false] [-j N] [-cache-size N]
+//	        [-cache-dir dir] [-warm-from file|url]
 //	        [-max-inflight N] [-max-queue N]
 //	        [-default-deadline d] [-max-deadline d] [-drain d]
 //	        [-trace out.json]
 //
 // Endpoints: POST /v1/allocate (one ILOC source, one or more routines),
-// POST /v1/batch (named units with per-unit options), GET /healthz,
-// /readyz, /metrics, /debug/vars and /debug/pprof.
+// POST /v1/batch (named units with per-unit options), GET /v1/cache/bundle
+// (tar.gz snapshot of the disk cache tier, 404 without -cache-dir),
+// GET /healthz, /readyz, /metrics, /debug/vars and /debug/pprof.
+//
+// The result cache is bounded by default (-cache-size 4096; 0 removes
+// the bound) and in-memory only unless -cache-dir names a directory:
+// then a persistent disk tier sits behind the LRU, survives restarts,
+// and can be snapshotted as a bundle. -warm-from imports a bundle —
+// a local file or a peer's /v1/cache/bundle URL — at boot, *before*
+// /readyz flips to 200, so a fresh replica serves cache hits from its
+// first request.
 //
 // -addr-file writes the bound address to a file once the listener is
 // up, so scripts can use "-addr 127.0.0.1:0" and discover the ephemeral
@@ -35,6 +45,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/driver"
 	"repro/internal/server"
+	"repro/internal/store"
 	"repro/internal/target"
 	"repro/internal/telemetry"
 )
@@ -46,7 +57,9 @@ func main() {
 	regs := flag.Int("regs", 16, "default registers per class")
 	verify := flag.Bool("verify", true, "run the post-allocation verifier on every result by default")
 	jobs := flag.Int("j", 0, "per-batch worker pool size (0 = number of CPUs)")
-	cacheSize := flag.Int("cache-size", 0, "result-cache capacity in entries (0 = unbounded)")
+	cacheSize := flag.Int("cache-size", 4096, "in-memory result-cache capacity in entries (0 = unbounded; the daemon defaults to a bound so a long-lived process cannot grow without limit)")
+	cacheDir := flag.String("cache-dir", "", "persist the result cache in this directory (disk tier survives restarts; serves GET /v1/cache/bundle)")
+	warmFrom := flag.String("warm-from", "", "import a cache bundle (file path or http(s) URL, e.g. a peer's /v1/cache/bundle) into -cache-dir before flipping /readyz")
 	maxInflight := flag.Int("max-inflight", 0, "requests allocating concurrently (0 = number of CPUs)")
 	maxQueue := flag.Int("max-queue", 0, "requests waiting beyond max-inflight before shedding (0 = 4x max-inflight, -1 = none)")
 	defaultDeadline := flag.Duration("default-deadline", 30*time.Second, "per-request deadline when the client sends no X-Deadline-Ms")
@@ -69,17 +82,44 @@ func main() {
 	if *tracePath != "" {
 		sink.Trace = telemetry.NewTracer()
 	}
-	srv := server.New(server.Config{
+
+	// The result cache: a bounded in-memory L1 always; a persistent
+	// disk L2 under -cache-dir. The effective configuration is logged
+	// so an operator can see at a glance whether a daemon is bounded
+	// and whether it persists.
+	if *warmFrom != "" && *cacheDir == "" {
+		fail(fmt.Errorf("-warm-from requires -cache-dir (nowhere to persist the bundle)"))
+	}
+	l1 := driver.NewCache(*cacheSize)
+	l1Desc := fmt.Sprintf("%d entries (lru)", *cacheSize)
+	if *cacheSize == 0 {
+		l1Desc = "unbounded"
+	}
+	var tiered *store.Tiered
+	cfg := server.Config{
 		Options:           opts,
 		DefaultOptionsSet: true,
 		Workers:           *jobs,
-		Cache:             driver.NewCache(*cacheSize),
 		MaxInFlight:       *maxInflight,
 		MaxQueue:          *maxQueue,
 		DefaultDeadline:   *defaultDeadline,
 		MaxDeadline:       *maxDeadline,
 		Telemetry:         sink,
-	})
+	}
+	if *cacheDir != "" {
+		disk, err := store.OpenDisk(*cacheDir)
+		if err != nil {
+			fail(err)
+		}
+		tiered = store.NewTiered(l1, disk)
+		cfg.Store = tiered
+		fmt.Fprintf(os.Stderr, "rallocd: cache: l1 %s, l2 %s (%d entries on disk)\n",
+			l1Desc, *cacheDir, disk.Stats().Entries)
+	} else {
+		cfg.Cache = l1
+		fmt.Fprintf(os.Stderr, "rallocd: cache: l1 %s, no disk tier (-cache-dir to persist)\n", l1Desc)
+	}
+	srv := server.New(cfg)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -93,9 +133,28 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "rallocd: listening on %s\n", bound)
 
+	// Readiness gating: the listener is up (liveness, warm-from over a
+	// local URL, health checks) but /readyz answers 503 until warm-up
+	// has finished, so a load balancer never routes to a stone-cold
+	// replica that was meant to start warm.
+	srv.SetReady(false)
 	hs := &http.Server{Handler: srv.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
+
+	if *warmFrom != "" {
+		st, err := tiered.WarmFrom(*warmFrom)
+		if err != nil {
+			// A peer being down must not keep the replica from serving:
+			// warn and start cold. Misconfiguration still surfaces —
+			// anything asserting warm hits (smoke tests, probes) fails.
+			fmt.Fprintf(os.Stderr, "rallocd: warning: warm-from %s failed, serving cold: %v\n", *warmFrom, err)
+		} else {
+			fmt.Fprintf(os.Stderr, "rallocd: warmed from %s: %d entries imported (%d replaced, %d corrupt skipped)\n",
+				*warmFrom, st.Imported, st.Replaced, st.Skipped)
+		}
+	}
+	srv.SetReady(true)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -117,6 +176,9 @@ func main() {
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fail(err)
 	}
+	// Land write-behind cache entries before exiting so the next boot
+	// on the same -cache-dir starts warm.
+	tiered.Close()
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {

@@ -7,7 +7,9 @@
 //	rallocload -url http://host:port [-input file.iloc] [-c 4]
 //	           [-duration 5s] [-requests N] [-deadline-ms N]
 //	           [-strategy name] [-require-strategy name]
-//	           [-expect-verified] [-out BENCH_server.json]
+//	           [-phases cold,warm] [-expect-verified]
+//	           [-require-cache-hits N] [-require-disk-hits N]
+//	           [-code-out file] [-out BENCH_server.json]
 //
 // -strategy sends the named allocation strategy in each request's
 // options. -require-strategy first asks GET /v1/strategies and fails
@@ -23,9 +25,25 @@
 // is an error; the tool exits nonzero if any occurred, which is how the
 // smoke test asserts the "only 200 or 429, every 200 verified"
 // contract.
+//
+// -phases runs the same workload once per named phase, back to back
+// against the same daemon, and reports each phase separately in the
+// output's "phases" array (the top-level numbers stay the aggregate).
+// The canonical use is "-phases cold,warm": the first pass populates
+// the server's result cache, the second measures warm serving, and
+// cmd/benchdiff gates the warm phase's throughput and p99 on their own
+// baselines.
+//
+// -require-cache-hits / -require-disk-hits fail the run unless the
+// servers' 200 responses reported at least N cache hits (respectively
+// disk-tier hits) in total — the restart/warm-up smoke test uses them
+// to prove persistence end to end. -code-out writes the allocated code
+// of the first successful response to a file so two runs can be
+// compared byte for byte.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -35,6 +53,8 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,7 +63,9 @@ import (
 )
 
 // report is the BENCH_server.json shape. cmd/benchdiff recognizes it by
-// the requests_per_sec/p99_ms pair.
+// the requests_per_sec/p99_ms pair. With -phases the top level stays
+// the aggregate across all phases and "phases" carries the per-phase
+// breakdown benchdiff gates individually.
 type report struct {
 	GoVersion      string  `json:"go_version"`
 	NumCPU         int     `json:"num_cpu"`
@@ -61,22 +83,70 @@ type report struct {
 	P90Ms          float64 `json:"p90_ms"`
 	P99Ms          float64 `json:"p99_ms"`
 	MaxMs          float64 `json:"max_ms"`
+	// CacheHits/CacheDiskHits total what the 200 responses reported:
+	// units served from the daemon's result cache, and the subset served
+	// by its persistent disk tier.
+	CacheHits     int64 `json:"cache_hits"`
+	CacheDiskHits int64 `json:"cache_disk_hits,omitempty"`
+	// Phases carries the per-phase breakdown when -phases is set.
+	Phases []phaseReport `json:"phases,omitempty"`
+	// ServerStore is the daemon's store.* metrics (per-tier cache
+	// counters) scraped from GET /metrics after the run; absent when the
+	// endpoint has none.
+	ServerStore map[string]int64 `json:"server_store,omitempty"`
+}
+
+// phaseReport is one -phases leg.
+type phaseReport struct {
+	Name           string  `json:"name"`
+	DurationSec    float64 `json:"duration_sec"`
+	Requests       int64   `json:"requests"`
+	OK             int64   `json:"ok"`
+	Shed           int64   `json:"shed"`
+	Errors         int64   `json:"errors"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	MeanMs         float64 `json:"mean_ms"`
+	P50Ms          float64 `json:"p50_ms"`
+	P90Ms          float64 `json:"p90_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+	MaxMs          float64 `json:"max_ms"`
+	CacheHits      int64   `json:"cache_hits"`
+	CacheDiskHits  int64   `json:"cache_disk_hits,omitempty"`
+}
+
+// shotResult is what one request contributed beyond its status code.
+type shotResult struct {
+	status   int
+	hits     int64
+	diskHits int64
+	code     string
 }
 
 func main() {
 	url := flag.String("url", "", "base URL of the rallocd instance (required)")
 	input := flag.String("input", "testdata/sumabs.iloc", "ILOC source file to allocate")
 	conc := flag.Int("c", 4, "concurrent closed-loop workers")
-	duration := flag.Duration("duration", 5*time.Second, "how long to run (ignored with -requests)")
-	requests := flag.Int64("requests", 0, "send exactly this many requests instead of running for -duration")
+	duration := flag.Duration("duration", 5*time.Second, "how long to run each phase (ignored with -requests)")
+	requests := flag.Int64("requests", 0, "send exactly this many requests per phase instead of running for -duration")
 	deadlineMs := flag.Int("deadline-ms", 0, "X-Deadline-Ms header to send (0 = none)")
 	strategy := flag.String("strategy", "", "allocation strategy to request (empty = server default)")
 	requireStrategy := flag.String("require-strategy", "", "fail unless GET /v1/strategies lists this name")
+	phases := flag.String("phases", "", "comma-separated phase names; the workload runs once per phase (e.g. cold,warm)")
 	expectVerified := flag.Bool("expect-verified", false, "treat an unverified unit in a 200 as an error")
+	requireCacheHits := flag.Int64("require-cache-hits", -1, "fail unless responses reported at least N cache hits in total")
+	requireDiskHits := flag.Int64("require-disk-hits", -1, "fail unless responses reported at least N disk-tier cache hits in total")
+	codeOut := flag.String("code-out", "", "write the allocated code of the first successful response to this file")
+	waitReady := flag.Duration("wait-ready", 0, "poll GET /readyz until 200 for up to this long before shooting (0 = don't wait)")
 	out := flag.String("out", "BENCH_server.json", "output file (- for stdout)")
 	flag.Parse()
 	if *url == "" {
 		fail(fmt.Errorf("-url is required"))
+	}
+
+	if *waitReady > 0 {
+		if err := awaitReady(*url, *waitReady); err != nil {
+			fail(err)
+		}
 	}
 
 	if *requireStrategy != "" {
@@ -98,53 +168,26 @@ func main() {
 		fail(err)
 	}
 
-	var (
-		sent, ok, shed, errs atomic.Int64
-		mu                   sync.Mutex
-		lats                 []time.Duration
-		firstErr             atomic.Value
-	)
-	client := &http.Client{Timeout: 2 * time.Minute}
-	deadline := time.Now().Add(*duration)
-	var wg sync.WaitGroup
-	start := time.Now()
-	for w := 0; w < *conc; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var local []time.Duration
-			for {
-				if *requests > 0 {
-					if sent.Add(1) > *requests {
-						break
-					}
-				} else {
-					if time.Now().After(deadline) {
-						break
-					}
-					sent.Add(1)
-				}
-				t0 := time.Now()
-				status, rerr := shoot(client, *url, body, *deadlineMs, *expectVerified)
-				lat := time.Since(t0)
-				switch {
-				case rerr != nil:
-					errs.Add(1)
-					firstErr.CompareAndSwap(nil, rerr)
-				case status == http.StatusTooManyRequests:
-					shed.Add(1)
-				default:
-					ok.Add(1)
-					local = append(local, lat)
-				}
+	phaseNames := []string{""}
+	if *phases != "" {
+		phaseNames = strings.Split(*phases, ",")
+		for _, n := range phaseNames {
+			if strings.TrimSpace(n) == "" {
+				fail(fmt.Errorf("-phases: empty phase name in %q", *phases))
 			}
-			mu.Lock()
-			lats = append(lats, local...)
-			mu.Unlock()
-		}()
+		}
 	}
-	wg.Wait()
-	elapsed := time.Since(start)
+
+	run := runner{
+		client:         &http.Client{Timeout: 2 * time.Minute},
+		url:            *url,
+		body:           body,
+		conc:           *conc,
+		duration:       *duration,
+		requests:       *requests,
+		deadlineMs:     *deadlineMs,
+		expectVerified: *expectVerified,
+	}
 
 	r := report{
 		GoVersion:   runtime.Version(),
@@ -152,28 +195,38 @@ func main() {
 		URL:         *url,
 		Concurrency: *conc,
 		DeadlineMs:  *deadlineMs,
-		DurationSec: elapsed.Seconds(),
-		Requests:    ok.Load() + shed.Load() + errs.Load(),
-		OK:          ok.Load(),
-		Shed:        shed.Load(),
-		Errors:      errs.Load(),
 	}
-	if elapsed > 0 {
-		r.RequestsPerSec = float64(r.OK) / elapsed.Seconds()
-	}
-	if len(lats) > 0 {
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-		var sum time.Duration
-		for _, l := range lats {
-			sum += l
+	var allLats []time.Duration
+	for _, name := range phaseNames {
+		pr, lats := run.phase(name)
+		if name != "" {
+			r.Phases = append(r.Phases, pr)
+			fmt.Fprintf(os.Stderr, "rallocload: phase %s: %d ok, %d shed, %d error(s) in %.2fs (%.0f req/s, p99 %.2fms, %d cache hits, %d from disk)\n",
+				pr.Name, pr.OK, pr.Shed, pr.Errors, pr.DurationSec, pr.RequestsPerSec, pr.P99Ms, pr.CacheHits, pr.CacheDiskHits)
 		}
-		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
-		q := func(p float64) time.Duration { return lats[int(p*float64(len(lats)-1))] }
-		r.MeanMs = ms(sum / time.Duration(len(lats)))
-		r.P50Ms = ms(q(0.50))
-		r.P90Ms = ms(q(0.90))
-		r.P99Ms = ms(q(0.99))
-		r.MaxMs = ms(lats[len(lats)-1])
+		r.DurationSec += pr.DurationSec
+		r.Requests += pr.Requests
+		r.OK += pr.OK
+		r.Shed += pr.Shed
+		r.Errors += pr.Errors
+		r.CacheHits += pr.CacheHits
+		r.CacheDiskHits += pr.CacheDiskHits
+		allLats = append(allLats, lats...)
+	}
+	if r.DurationSec > 0 {
+		r.RequestsPerSec = float64(r.OK) / r.DurationSec
+	}
+	r.MeanMs, r.P50Ms, r.P90Ms, r.P99Ms, r.MaxMs = quantiles(allLats)
+	r.ServerStore = scrapeStoreMetrics(run.client, *url)
+
+	if *codeOut != "" {
+		code, _ := run.firstCode.Load().(string)
+		if code == "" {
+			fail(fmt.Errorf("-code-out: no successful response carried code"))
+		}
+		if err := os.WriteFile(*codeOut, []byte(code), 0o644); err != nil {
+			fail(err)
+		}
 	}
 
 	data, err := json.MarshalIndent(r, "", " ")
@@ -186,54 +239,225 @@ func main() {
 	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fail(err)
 	}
-	fmt.Fprintf(os.Stderr, "rallocload: %d ok, %d shed, %d error(s) in %.2fs (%.0f req/s, p50 %.2fms, p99 %.2fms)\n",
-		r.OK, r.Shed, r.Errors, r.DurationSec, r.RequestsPerSec, r.P50Ms, r.P99Ms)
+	fmt.Fprintf(os.Stderr, "rallocload: %d ok, %d shed, %d error(s) in %.2fs (%.0f req/s, p50 %.2fms, p99 %.2fms, %d cache hits, %d from disk)\n",
+		r.OK, r.Shed, r.Errors, r.DurationSec, r.RequestsPerSec, r.P50Ms, r.P99Ms, r.CacheHits, r.CacheDiskHits)
 	if r.Errors > 0 {
-		err, _ := firstErr.Load().(error)
+		err, _ := run.firstErr.Load().(error)
 		fail(fmt.Errorf("%d request(s) violated the 200-or-429 contract (first: %v)", r.Errors, err))
 	}
 	if r.OK == 0 {
 		fail(fmt.Errorf("no request succeeded"))
 	}
+	if *requireCacheHits >= 0 && r.CacheHits < *requireCacheHits {
+		fail(fmt.Errorf("responses reported %d cache hit(s), want at least %d", r.CacheHits, *requireCacheHits))
+	}
+	if *requireDiskHits >= 0 && r.CacheDiskHits < *requireDiskHits {
+		fail(fmt.Errorf("responses reported %d disk-tier hit(s), want at least %d", r.CacheDiskHits, *requireDiskHits))
+	}
+}
+
+// runner holds the fixed workload shared by all phases plus the
+// cross-phase capture slots (first error, first allocated code).
+type runner struct {
+	client         *http.Client
+	url            string
+	body           []byte
+	conc           int
+	duration       time.Duration
+	requests       int64
+	deadlineMs     int
+	expectVerified bool
+	firstErr       atomic.Value
+	firstCode      atomic.Value
+}
+
+// phase runs one closed-loop leg of the workload and summarizes it.
+func (rn *runner) phase(name string) (phaseReport, []time.Duration) {
+	var (
+		sent, ok, shed, errs atomic.Int64
+		hits, diskHits       atomic.Int64
+		mu                   sync.Mutex
+		lats                 []time.Duration
+	)
+	deadline := time.Now().Add(rn.duration)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < rn.conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local []time.Duration
+			for {
+				if rn.requests > 0 {
+					if sent.Add(1) > rn.requests {
+						break
+					}
+				} else {
+					if time.Now().After(deadline) {
+						break
+					}
+					sent.Add(1)
+				}
+				t0 := time.Now()
+				sr, rerr := rn.shoot()
+				lat := time.Since(t0)
+				switch {
+				case rerr != nil:
+					errs.Add(1)
+					rn.firstErr.CompareAndSwap(nil, rerr)
+				case sr.status == http.StatusTooManyRequests:
+					shed.Add(1)
+				default:
+					ok.Add(1)
+					hits.Add(sr.hits)
+					diskHits.Add(sr.diskHits)
+					if sr.code != "" {
+						rn.firstCode.CompareAndSwap(nil, sr.code)
+					}
+					local = append(local, lat)
+				}
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	pr := phaseReport{
+		Name:          name,
+		DurationSec:   elapsed.Seconds(),
+		Requests:      ok.Load() + shed.Load() + errs.Load(),
+		OK:            ok.Load(),
+		Shed:          shed.Load(),
+		Errors:        errs.Load(),
+		CacheHits:     hits.Load(),
+		CacheDiskHits: diskHits.Load(),
+	}
+	if elapsed > 0 {
+		pr.RequestsPerSec = float64(pr.OK) / elapsed.Seconds()
+	}
+	pr.MeanMs, pr.P50Ms, pr.P90Ms, pr.P99Ms, pr.MaxMs = quantiles(lats)
+	return pr, lats
 }
 
 // shoot sends one allocation request and classifies the answer. Any
 // error return counts against the serving contract.
-func shoot(client *http.Client, base string, body []byte, deadlineMs int, expectVerified bool) (int, error) {
-	req, err := http.NewRequest(http.MethodPost, base+"/v1/allocate", bytes.NewReader(body))
+func (rn *runner) shoot() (shotResult, error) {
+	var sr shotResult
+	req, err := http.NewRequest(http.MethodPost, rn.url+"/v1/allocate", bytes.NewReader(rn.body))
 	if err != nil {
-		return 0, err
+		return sr, err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	if deadlineMs > 0 {
-		req.Header.Set("X-Deadline-Ms", fmt.Sprintf("%d", deadlineMs))
+	if rn.deadlineMs > 0 {
+		req.Header.Set("X-Deadline-Ms", fmt.Sprintf("%d", rn.deadlineMs))
 	}
-	resp, err := client.Do(req)
+	resp, err := rn.client.Do(req)
 	if err != nil {
-		return 0, err
+		return sr, err
 	}
 	defer resp.Body.Close()
+	sr.status = resp.StatusCode
 	switch resp.StatusCode {
 	case http.StatusTooManyRequests:
 		io.Copy(io.Discard, resp.Body)
-		return resp.StatusCode, nil
+		return sr, nil
 	case http.StatusOK:
 		var ar server.AllocateResponse
 		if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
-			return resp.StatusCode, fmt.Errorf("bad 200 body: %w", err)
+			return sr, fmt.Errorf("bad 200 body: %w", err)
 		}
+		var code strings.Builder
 		for _, u := range ar.Results {
 			if u.Error != "" {
-				return resp.StatusCode, fmt.Errorf("unit %s failed: %s", u.Name, u.Error)
+				return sr, fmt.Errorf("unit %s failed: %s", u.Name, u.Error)
 			}
-			if expectVerified && !u.Verified {
-				return resp.StatusCode, fmt.Errorf("unit %s not verified", u.Name)
+			if rn.expectVerified && !u.Verified {
+				return sr, fmt.Errorf("unit %s not verified", u.Name)
 			}
+			code.WriteString(u.Code)
 		}
-		return resp.StatusCode, nil
+		sr.hits = int64(ar.Stats.CacheHits)
+		sr.diskHits = int64(ar.Stats.CacheDiskHits)
+		sr.code = code.String()
+		return sr, nil
 	default:
 		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return resp.StatusCode, fmt.Errorf("status %d: %s", resp.StatusCode, b)
+		return sr, fmt.Errorf("status %d: %s", resp.StatusCode, b)
+	}
+}
+
+// quantiles summarizes a latency sample as (mean, p50, p90, p99, max)
+// in milliseconds. An empty sample is all zeros.
+func quantiles(lats []time.Duration) (mean, p50, p90, p99, max float64) {
+	if len(lats) == 0 {
+		return
+	}
+	sorted := make([]time.Duration, len(lats))
+	copy(sorted, lats)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, l := range sorted {
+		sum += l
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	q := func(p float64) time.Duration { return sorted[int(p*float64(len(sorted)-1))] }
+	return ms(sum / time.Duration(len(sorted))), ms(q(0.50)), ms(q(0.90)), ms(q(0.99)), ms(sorted[len(sorted)-1])
+}
+
+// scrapeStoreMetrics fetches GET /metrics and keeps the store.* lines —
+// the daemon's per-tier cache counters — as a name→value map. Best
+// effort: a missing endpoint or unparsable line just yields nil/less.
+func scrapeStoreMetrics(client *http.Client, base string) map[string]int64 {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var m map[string]int64
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 2 || !strings.HasPrefix(fields[0], "store.") {
+			continue
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		if m == nil {
+			m = make(map[string]int64)
+		}
+		m[fields[0]] = v
+	}
+	return m
+}
+
+// awaitReady polls /readyz until the daemon reports ready — a booting
+// rallocd keeps readiness at 503 until its -warm-from import lands, so
+// waiting here is what lets a smoke test assert "warm before the first
+// request".
+func awaitReady(base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	client := &http.Client{Timeout: 2 * time.Second}
+	for {
+		resp, err := client.Get(base + "/readyz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server not ready after %v", timeout)
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 }
 

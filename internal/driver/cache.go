@@ -38,6 +38,12 @@ func KeyFor(rt *iloc.Routine, opts core.Options) Key {
 	return Key(hex.EncodeToString(h.Sum(nil)))
 }
 
+// CanonicalOptionsKey renders the semantic content of opts
+// deterministically — the options half of the cache key. The disk
+// store records it inside each entry so `ralloc-bundle inspect` can
+// say what configuration produced an allocation.
+func CanonicalOptionsKey(opts core.Options) string { return optionsKey(opts) }
+
 // optionsKey renders the semantic content of opts deterministically.
 func optionsKey(opts core.Options) string {
 	o := opts.Canonical()
@@ -48,12 +54,35 @@ func optionsKey(opts core.Options) string {
 		o.Split, o.Metric, o.MaxIterations, o.Verify, o.DisableDegradation)
 }
 
+// ResultCache is what the engine needs from a cache: the in-memory
+// LRU below implements it, as does the tiered persistent store
+// (internal/store). Implementations must be safe for concurrent use
+// and must return results the caller may mutate freely.
+type ResultCache interface {
+	Get(Key) (*core.Result, bool)
+	Put(Key, *core.Result)
+}
+
+// TierGetter is optionally implemented by tiered caches: GetTier
+// additionally reports which tier satisfied the lookup ("l1", "l2"),
+// which the engine records in UnitResult.CacheTier.
+type TierGetter interface {
+	GetTier(Key) (*core.Result, string, bool)
+}
+
+// OptionsPutter is optionally implemented by caches that persist
+// entries: PutOptions carries the canonical options key alongside the
+// result so the stored entry can describe its own configuration.
+type OptionsPutter interface {
+	PutOptions(Key, *core.Result, string)
+}
+
 // CacheStats is a point-in-time snapshot of a cache's counters.
 type CacheStats struct {
-	Hits      uint64
-	Misses    uint64
-	Evictions uint64
-	Entries   int
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
 }
 
 // HitRate returns hits / (hits + misses), or 0 before any lookup.

@@ -46,8 +46,10 @@ type Config struct {
 	// Workers bounds the worker pool; <= 0 means runtime.GOMAXPROCS(0).
 	Workers int
 	// Cache, when non-nil, is consulted before and filled after each
-	// allocation. Sharing one cache across engines and runs is safe.
-	Cache *Cache
+	// allocation. Sharing one cache across engines and runs is safe. A
+	// plain *Cache gives the in-memory LRU; a *store.Tiered adds the
+	// persistent disk tier behind it.
+	Cache ResultCache
 	// Telemetry, when non-nil, receives driver.* metrics (unit/failure/
 	// degradation counters, cache traffic, a queue-depth gauge and a
 	// queue-wait histogram) and trace events: one span per batch, one
@@ -65,6 +67,9 @@ type UnitResult struct {
 	Result   *core.Result
 	Err      error
 	CacheHit bool
+	// CacheTier says which tier satisfied a hit ("l1" memory, "l2"
+	// disk) when the cache reports tiers; empty otherwise.
+	CacheTier string
 	// Worker is the index of the pool worker that handled the unit, and
 	// Wall how long it spent on it (lookup + allocation).
 	Worker int
@@ -98,9 +103,12 @@ type Stats struct {
 	Degraded     int
 	Degradations []string
 	// CacheHits and CacheMisses count this run's lookups (the cache's own
-	// counters aggregate across runs and engines).
-	CacheHits   int
-	CacheMisses int
+	// counters aggregate across runs and engines). CacheDiskHits is the
+	// subset of CacheHits served by a tiered cache's disk tier — the
+	// restart-survival path.
+	CacheHits     int
+	CacheMisses   int
+	CacheDiskHits int
 	// Wall is the batch's elapsed time; CPU sums the per-unit times
 	// across workers (CPU > Wall means parallelism paid off).
 	Wall time.Duration
@@ -132,6 +140,9 @@ func (s Stats) Format() string {
 	}
 	if s.CacheHits+s.CacheMisses > 0 {
 		out += fmt.Sprintf("\ndriver: cache %d hit(s), %d miss(es)", s.CacheHits, s.CacheMisses)
+		if s.CacheDiskHits > 0 {
+			out += fmt.Sprintf(" (%d from disk)", s.CacheDiskHits)
+		}
 	}
 	for i, w := range s.PerWorker {
 		out += fmt.Sprintf("\ndriver: worker %d: %d unit(s), busy %v (%.0f%%)",
@@ -171,7 +182,7 @@ func New(cfg Config) *Engine {
 }
 
 // Cache returns the engine's cache (nil when caching is off).
-func (e *Engine) Cache() *Cache { return e.cfg.Cache }
+func (e *Engine) Cache() ResultCache { return e.cfg.Cache }
 
 // Run allocates every unit of the batch. Results are in input order; a
 // unit's failure is recorded in its UnitResult and does not stop the
@@ -237,7 +248,7 @@ func (e *Engine) Run(ctx context.Context, units []Unit) *Batch {
 				}
 				wsink.Observe("driver.queue.wait", time.Since(start).Nanoseconds())
 				sp := wsink.StartSpan(telemetry.CatUnit, units[i].Name)
-				res, hit, err := e.allocate(ctx, units[i], wsink)
+				res, hit, tier, err := e.allocate(ctx, units[i], wsink)
 				if sp.Active() {
 					if hit {
 						sp.Arg("cache_hit", 1)
@@ -252,12 +263,13 @@ func (e *Engine) Run(ctx context.Context, units []Unit) *Batch {
 				wall := sp.End()
 				wsink.Observe("driver.unit.wall", wall.Nanoseconds())
 				b.Results[i] = UnitResult{
-					Name:     units[i].Name,
-					Result:   res,
-					Err:      err,
-					CacheHit: hit,
-					Worker:   worker,
-					Wall:     wall,
+					Name:      units[i].Name,
+					Result:    res,
+					Err:       err,
+					CacheHit:  hit,
+					CacheTier: tier,
+					Worker:    worker,
+					Wall:      wall,
 				}
 			}
 		}(w)
@@ -278,6 +290,9 @@ func (e *Engine) Run(ctx context.Context, units []Unit) *Batch {
 		} else if e.cfg.Cache != nil {
 			if r.CacheHit {
 				b.Stats.CacheHits++
+				if r.CacheTier == "l2" {
+					b.Stats.CacheDiskHits++
+				}
 			} else {
 				b.Stats.CacheMisses++
 			}
@@ -314,10 +329,10 @@ func (e *Engine) Run(ctx context.Context, units []Unit) *Batch {
 // a worker goroutine that panics would kill the whole process. Any panic
 // escaping a unit is recovered into a *core.AllocError so it fails that
 // unit alone.
-func (e *Engine) allocate(ctx context.Context, u Unit, wsink *telemetry.Sink) (res *core.Result, hit bool, err error) {
+func (e *Engine) allocate(ctx context.Context, u Unit, wsink *telemetry.Sink) (res *core.Result, hit bool, tier string, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			res, hit = nil, false
+			res, hit, tier = nil, false, ""
 			err = &core.AllocError{Routine: u.Name, Err: fmt.Errorf("driver: panic in worker: %v", r)}
 		}
 	}()
@@ -328,7 +343,7 @@ func (e *Engine) allocate(ctx context.Context, u Unit, wsink *telemetry.Sink) (r
 // The worker's sink overrides the options' own so that allocator spans
 // land on the worker's trace thread; Telemetry is excluded from the
 // cache key, so this cannot split cache entries.
-func (e *Engine) allocateUnit(ctx context.Context, u Unit, wsink *telemetry.Sink) (*core.Result, bool, error) {
+func (e *Engine) allocateUnit(ctx context.Context, u Unit, wsink *telemetry.Sink) (*core.Result, bool, string, error) {
 	opts := e.cfg.Options
 	if u.Options != nil {
 		opts = *u.Options
@@ -337,30 +352,45 @@ func (e *Engine) allocateUnit(ctx context.Context, u Unit, wsink *telemetry.Sink
 		opts.Telemetry = wsink
 	}
 	if u.Routine == nil {
-		return nil, false, fmt.Errorf("driver: unit has no routine")
+		return nil, false, "", fmt.Errorf("driver: unit has no routine")
 	}
-	if e.cfg.Cache == nil {
+	cache := e.cfg.Cache
+	if cache == nil {
 		res, err := core.Allocate(ctx, u.Routine, opts)
-		return res, false, err
+		return res, false, "", err
 	}
 	key := KeyFor(u.Routine, opts)
-	if res, ok := e.cfg.Cache.Get(key); ok {
+	var (
+		res  *core.Result
+		tier string
+		ok   bool
+	)
+	if tg, tiered := cache.(TierGetter); tiered {
+		res, tier, ok = tg.GetTier(key)
+	} else {
+		res, ok = cache.Get(key)
+	}
+	if ok {
 		wsink.Instant(telemetry.CatCache, "hit")
-		return res, true, nil
+		return res, true, tier, nil
 	}
 	wsink.Instant(telemetry.CatCache, "miss")
 	res, err := core.Allocate(ctx, u.Routine, opts)
 	if err != nil {
-		return nil, false, err
+		return nil, false, "", err
 	}
 	if res.Degraded && res.DegradeReason == core.DegradeReasonDeadline {
 		// A deadline-shaped degradation reflects this request's time
 		// budget, not the routine: caching it would serve spill-everywhere
 		// code to a later request with all the time in the world.
-		return res, false, nil
+		return res, false, "", nil
 	}
-	e.cfg.Cache.Put(key, res)
-	return res, false, nil
+	if op, persists := cache.(OptionsPutter); persists {
+		op.PutOptions(key, res, optionsKey(opts))
+	} else {
+		cache.Put(key, res)
+	}
+	return res, false, "", nil
 }
 
 // Allocate runs one batch with a throwaway engine — the convenience

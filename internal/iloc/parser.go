@@ -131,7 +131,32 @@ func (p *parser) line(raw string) error {
 	case strings.HasSuffix(s, ":"):
 		return p.label(strings.TrimSuffix(s, ":"))
 	default:
-		return p.instr(s)
+		if err := p.instr(s); err != nil {
+			return err
+		}
+		p.annotate(raw)
+		return nil
+	}
+}
+
+// annotate restores the structured annotations Print attaches as
+// comments ("; split", "; spill") onto the instruction just parsed, so
+// Print(Parse(Print(rt))) round-trips byte for byte — the persistent
+// result store depends on that. Only a comment segment that is exactly
+// one marker word counts; free-form comments stay comments.
+func (p *parser) annotate(raw string) {
+	i := strings.IndexAny(raw, ";#")
+	if i < 0 {
+		return
+	}
+	in := p.cur.Instrs[len(p.cur.Instrs)-1]
+	for _, seg := range strings.FieldsFunc(raw[i:], func(r rune) bool { return r == ';' || r == '#' }) {
+		switch strings.TrimSpace(seg) {
+		case "split":
+			in.IsSplit = true
+		case "spill":
+			in.IsSpill = true
+		}
 	}
 }
 

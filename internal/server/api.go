@@ -153,6 +153,9 @@ type UnitResponse struct {
 	Degraded      bool   `json:"degraded,omitempty"`
 	DegradeReason string `json:"degrade_reason,omitempty"`
 	CacheHit      bool   `json:"cache_hit,omitempty"`
+	// CacheTier says which tier served a hit: "l1" (memory) or "l2"
+	// (the persistent disk tier, surviving daemon restarts).
+	CacheTier string `json:"cache_tier,omitempty"`
 	// Per-pass totals of the instrumented pipeline.
 	Iterations int     `json:"iterations,omitempty"`
 	Spilled    int     `json:"spilled,omitempty"`
@@ -163,14 +166,17 @@ type UnitResponse struct {
 
 // BatchStats summarizes the driver run behind one request.
 type BatchStats struct {
-	Routines    int     `json:"routines"`
-	Failed      int     `json:"failed"`
-	Degraded    int     `json:"degraded"`
-	CacheHits   int     `json:"cache_hits"`
-	CacheMisses int     `json:"cache_misses"`
-	Workers     int     `json:"workers"`
-	WallMs      float64 `json:"wall_ms"`
-	CPUMs       float64 `json:"cpu_ms"`
+	Routines    int `json:"routines"`
+	Failed      int `json:"failed"`
+	Degraded    int `json:"degraded"`
+	CacheHits   int `json:"cache_hits"`
+	CacheMisses int `json:"cache_misses"`
+	// CacheDiskHits is the subset of CacheHits served by the disk tier
+	// — restart-survival and bundle warm-up at work.
+	CacheDiskHits int     `json:"cache_disk_hits,omitempty"`
+	Workers       int     `json:"workers"`
+	WallMs        float64 `json:"wall_ms"`
+	CPUMs         float64 `json:"cpu_ms"`
 }
 
 // StrategyInfo describes one registered allocation strategy in the

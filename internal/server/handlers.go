@@ -156,21 +156,23 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, info *requestInfo
 		RequestID: info.id,
 		Results:   make([]UnitResponse, len(batch.Results)),
 		Stats: BatchStats{
-			Routines:    batch.Stats.Routines,
-			Failed:      batch.Stats.Failed,
-			Degraded:    batch.Stats.Degraded,
-			CacheHits:   batch.Stats.CacheHits,
-			CacheMisses: batch.Stats.CacheMisses,
-			Workers:     batch.Stats.Workers,
-			WallMs:      float64(batch.Stats.Wall) / float64(time.Millisecond),
-			CPUMs:       float64(batch.Stats.CPU) / float64(time.Millisecond),
+			Routines:      batch.Stats.Routines,
+			Failed:        batch.Stats.Failed,
+			Degraded:      batch.Stats.Degraded,
+			CacheHits:     batch.Stats.CacheHits,
+			CacheMisses:   batch.Stats.CacheMisses,
+			CacheDiskHits: batch.Stats.CacheDiskHits,
+			Workers:       batch.Stats.Workers,
+			WallMs:        float64(batch.Stats.Wall) / float64(time.Millisecond),
+			CPUMs:         float64(batch.Stats.CPU) / float64(time.Millisecond),
 		},
 	}
 	for i, ur := range batch.Results {
 		u := UnitResponse{
-			Name:     ur.Name,
-			CacheHit: ur.CacheHit,
-			AllocMs:  float64(ur.Wall) / float64(time.Millisecond),
+			Name:      ur.Name,
+			CacheHit:  ur.CacheHit,
+			CacheTier: ur.CacheTier,
+			AllocMs:   float64(ur.Wall) / float64(time.Millisecond),
 		}
 		switch {
 		case ur.Err != nil:
@@ -232,8 +234,60 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics dumps the telemetry registry as flat "name value"
-// lines — the same format the CLIs write under -metrics.
+// lines — the same format the CLIs write under -metrics. The result
+// cache's per-tier stats are refreshed into the registry (store.*
+// gauges) on every scrape, so warm-vs-cold serving is visible without
+// instrumenting the cache hot path.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.publishCacheMetrics()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	_, _ = s.cfg.Telemetry.Metrics.WriteTo(w)
+}
+
+// publishCacheMetrics writes the current cache stats into the
+// telemetry registry: both tiers when a persistent store is
+// configured, the L1 shape alone for a plain in-memory cache.
+func (s *Server) publishCacheMetrics() {
+	reg := s.cfg.Telemetry.Metrics
+	if s.cfg.Store != nil {
+		s.cfg.Store.PublishMetrics(reg)
+		return
+	}
+	if c, ok := s.cfg.Cache.(*driver.Cache); ok {
+		cs := c.Stats()
+		reg.Gauge("store.l1.hits").Set(int64(cs.Hits))
+		reg.Gauge("store.l1.misses").Set(int64(cs.Misses))
+		reg.Gauge("store.l1.evictions").Set(int64(cs.Evictions))
+		reg.Gauge("store.l1.entries").Set(int64(cs.Entries))
+		reg.Gauge("store.l1.hit_rate_pct").Set(int64(100 * cs.HitRate()))
+	}
+}
+
+// handleBundle serves GET /v1/cache/bundle: a tar.gz snapshot of the
+// disk cache tier, streamed after a flush so it includes every entry
+// put before the request. A replica (rallocd -warm-from URL) or
+// `ralloc-bundle export -url` can warm a cold cache from it. Servers
+// without a persistent tier answer 404.
+func (s *Server) handleBundle(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "GET only"})
+		return
+	}
+	st := s.cfg.Store
+	if st == nil || st.Disk() == nil {
+		writeError(w, http.StatusNotFound, ErrorResponse{Error: "no persistent cache tier (start rallocd with -cache-dir)"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/gzip")
+	w.Header().Set("Content-Disposition", `attachment; filename="cache-bundle.tar.gz"`)
+	n, err := st.ExportBundle(w)
+	tel := s.cfg.Telemetry
+	tel.Count("server.bundle.exports", 1)
+	tel.Count("server.bundle.entries", int64(n))
+	if err != nil {
+		// The status line is gone; all that is left is to cut the
+		// stream short (the client's gzip reader will notice) and count.
+		tel.Count("server.bundle.errors", 1)
+	}
 }

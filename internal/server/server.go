@@ -38,11 +38,13 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/driver"
+	"repro/internal/store"
 	"repro/internal/target"
 	"repro/internal/telemetry"
 )
@@ -61,8 +63,14 @@ type Config struct {
 	// Workers bounds each batch's worker pool (<= 0: GOMAXPROCS).
 	Workers int
 	// Cache is the shared content-addressed result cache; nil builds an
-	// unbounded one. Deadline-degraded results are never cached.
-	Cache *driver.Cache
+	// unbounded in-memory one. Deadline-degraded results are never
+	// cached.
+	Cache driver.ResultCache
+	// Store, when non-nil, is the tiered persistent result store: it
+	// becomes the Cache, its per-tier stats feed /metrics and
+	// /debug/vars, and its disk tier is exported via
+	// GET /v1/cache/bundle.
+	Store *store.Tiered
 	// MaxInFlight bounds requests allocating concurrently (<= 0:
 	// GOMAXPROCS).
 	MaxInFlight int
@@ -111,7 +119,9 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
-	if c.Cache == nil {
+	if c.Store != nil {
+		c.Cache = c.Store
+	} else if c.Cache == nil {
 		c.Cache = driver.NewCache(0)
 	}
 	if c.Telemetry == nil {
@@ -162,6 +172,7 @@ func New(cfg Config) *Server {
 	s.mux.Handle("/v1/allocate", s.instrument("/v1/allocate", s.handleAllocate))
 	s.mux.Handle("/v1/batch", s.instrument("/v1/batch", s.handleBatch))
 	s.mux.HandleFunc("/v1/strategies", s.handleStrategies)
+	s.mux.HandleFunc("/v1/cache/bundle", s.handleBundle)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -171,8 +182,30 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	s.mux.Handle("/debug/vars", expvar.Handler())
+
+	// Publish the store's per-tier stats as one expvar so /debug/vars
+	// carries them alongside memstats. expvar is process-global and
+	// panics on duplicate names, so the var is registered once and
+	// reads whichever server was constructed last (in production there
+	// is exactly one).
+	if cfg.Store != nil {
+		expStore.Store(cfg.Store)
+		expPublishOnce.Do(func() {
+			expvar.Publish("ralloc.cache", expvar.Func(func() any {
+				if st, _ := expStore.Load().(*store.Tiered); st != nil {
+					return st.Stats()
+				}
+				return nil
+			}))
+		})
+	}
 	return s
 }
+
+var (
+	expPublishOnce sync.Once
+	expStore       atomic.Value // *store.Tiered
+)
 
 // Handler returns the service's HTTP handler tree, ready to mount on an
 // http.Server (or httptest).
@@ -182,7 +215,11 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Metrics() *telemetry.Registry { return s.cfg.Telemetry.Metrics }
 
 // Cache returns the shared result cache.
-func (s *Server) Cache() *driver.Cache { return s.cfg.Cache }
+func (s *Server) Cache() driver.ResultCache { return s.cfg.Cache }
+
+// Store returns the tiered persistent store, or nil when the server
+// runs on a plain in-memory cache.
+func (s *Server) Store() *store.Tiered { return s.cfg.Store }
 
 // SetReady flips the /readyz verdict. The daemon clears it when a drain
 // begins so load balancers stop routing new work while in-flight

@@ -1,0 +1,259 @@
+package store
+
+import (
+	"archive/tar"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/driver"
+)
+
+// A cache bundle is a tar.gz snapshot of the disk tier: each member is
+// one entry file, stored verbatim under its objects/<shard>/<key>
+// path. Entries are self-validating (see entry.go), so a bundle needs
+// no manifest: import and inspect re-validate every member, and a
+// member that fails — corrupt in transit, tampered, from a different
+// format version — is skipped and counted, never installed. Unknown
+// member names are ignored, which also neutralizes path traversal: the
+// install path is derived from the validated key, never from the
+// archive.
+
+var errNoDiskTier = errors.New("store: no disk tier (memory-only store)")
+
+// bundleMemberPrefix is where entry members live inside a bundle.
+const bundleMemberPrefix = "objects/"
+
+// maxBundleEntry bounds one member's size on import, keeping a
+// hostile bundle from ballooning memory.
+const maxBundleEntry = 256 << 20
+
+// ImportStats summarizes one bundle import.
+type ImportStats struct {
+	// Imported entries were validated and installed; Replaced is the
+	// subset that overwrote an existing entry. Skipped members failed
+	// validation; Ignored members were not entry files at all.
+	Imported int `json:"imported"`
+	Replaced int `json:"replaced"`
+	Skipped  int `json:"skipped"`
+	Ignored  int `json:"ignored"`
+}
+
+// BundleEntry describes one member of a bundle (ralloc-bundle
+// inspect).
+type BundleEntry struct {
+	Key        driver.Key
+	Valid      bool
+	Err        string // why Valid is false
+	Name       string // routine name
+	Strategy   string
+	OptionsKey string
+	CodeBytes  int
+	TotalBytes int
+}
+
+// ExportBundle streams every valid entry of the tier as a bundle.
+// Corrupt entries discovered along the way are quarantined and left
+// out — a bundle only ever carries entries that re-validated at export
+// time. Call Flush first (Tiered.ExportBundle does) so write-behind
+// entries are included.
+func (d *Disk) ExportBundle(w io.Writer) (int, error) {
+	if d == nil {
+		return 0, errNoDiskTier
+	}
+	gz := gzip.NewWriter(w)
+	tw := tar.NewWriter(gz)
+	count := 0
+	root := filepath.Join(d.dir, "objects")
+	err := filepath.WalkDir(root, func(path string, ent os.DirEntry, err error) error {
+		if err != nil || ent.IsDir() {
+			return err
+		}
+		key := driver.Key(ent.Name())
+		if !validKey(key) {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil // raced with quarantine or removal; skip
+		}
+		if _, _, derr := decodeResultBytes(data); derr != nil {
+			d.quarantine(key, path)
+			return nil
+		}
+		hdr := &tar.Header{
+			Name:    bundleMemberPrefix + string(key[:2]) + "/" + string(key),
+			Mode:    0o644,
+			Size:    int64(len(data)),
+			ModTime: time.Unix(0, 0), // deterministic: same tier state, same bundle bytes
+		}
+		if err := tw.WriteHeader(hdr); err != nil {
+			return err
+		}
+		if _, err := tw.Write(data); err != nil {
+			return err
+		}
+		count++
+		return nil
+	})
+	if err != nil {
+		return count, fmt.Errorf("store: export bundle: %w", err)
+	}
+	if err := tw.Close(); err != nil {
+		return count, fmt.Errorf("store: export bundle: %w", err)
+	}
+	if err := gz.Close(); err != nil {
+		return count, fmt.Errorf("store: export bundle: %w", err)
+	}
+	return count, nil
+}
+
+// ImportBundle reads a bundle and installs every member that
+// validates. Installation uses the same atomic temp-and-rename path as
+// normal writes, so a crash mid-import never leaves partial entries.
+func (d *Disk) ImportBundle(r io.Reader) (ImportStats, error) {
+	var st ImportStats
+	if d == nil {
+		return st, errNoDiskTier
+	}
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return st, fmt.Errorf("store: import bundle: %w", err)
+	}
+	defer gz.Close()
+	tr := tar.NewReader(gz)
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return st, fmt.Errorf("store: import bundle: %w", err)
+		}
+		key, ok := bundleMemberKey(hdr)
+		if !ok {
+			st.Ignored++
+			continue
+		}
+		if hdr.Size > maxBundleEntry {
+			st.Skipped++
+			continue
+		}
+		data, err := io.ReadAll(io.LimitReader(tr, maxBundleEntry))
+		if err != nil {
+			return st, fmt.Errorf("store: import bundle: %s: %w", key, err)
+		}
+		if _, _, derr := decodeResultBytes(data); derr != nil {
+			st.Skipped++
+			continue
+		}
+		_, statErr := os.Stat(d.entryPath(key))
+		if statErr == nil {
+			st.Replaced++
+		}
+		d.write(key, data)
+		st.Imported++
+	}
+	return st, nil
+}
+
+// bundleMemberKey extracts and validates the entry key a member
+// claims, rejecting anything that is not a regular file named by a
+// well-formed key. The returned key — not the member name — decides
+// the install path.
+func bundleMemberKey(hdr *tar.Header) (driver.Key, bool) {
+	if hdr.Typeflag != tar.TypeReg {
+		return "", false
+	}
+	name := strings.TrimPrefix(hdr.Name, "./")
+	if !strings.HasPrefix(name, bundleMemberPrefix) {
+		return "", false
+	}
+	key := driver.Key(filepath.Base(name))
+	return key, validKey(key)
+}
+
+// InspectBundle lists a bundle's members with their validation
+// verdicts without installing anything.
+func InspectBundle(r io.Reader) ([]BundleEntry, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("store: inspect bundle: %w", err)
+	}
+	defer gz.Close()
+	tr := tar.NewReader(gz)
+	var out []BundleEntry
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return out, fmt.Errorf("store: inspect bundle: %w", err)
+		}
+		key, ok := bundleMemberKey(hdr)
+		if !ok {
+			continue
+		}
+		be := BundleEntry{Key: key, TotalBytes: int(hdr.Size)}
+		data, err := io.ReadAll(io.LimitReader(tr, maxBundleEntry))
+		if err != nil {
+			return out, fmt.Errorf("store: inspect bundle: %s: %w", key, err)
+		}
+		if e, derr := decodeEntry(data); derr != nil {
+			be.Err = derr.Error()
+		} else if _, rerr := e.result(); rerr != nil {
+			be.Err = rerr.Error()
+		} else {
+			be.Valid = true
+			be.Name = e.Meta.Name
+			be.Strategy = e.Meta.Strategy
+			be.OptionsKey = e.OptionsKey
+			be.CodeBytes = len(e.Code)
+		}
+		out = append(out, be)
+	}
+	return out, nil
+}
+
+// WarmFrom imports a bundle from a local file or an http(s) URL (a
+// peer's GET /v1/cache/bundle, an object-store link).
+func (d *Disk) WarmFrom(src string) (ImportStats, error) {
+	if d == nil {
+		return ImportStats{}, errNoDiskTier
+	}
+	rc, err := openBundleSource(src)
+	if err != nil {
+		return ImportStats{}, err
+	}
+	defer rc.Close()
+	return d.ImportBundle(rc)
+}
+
+// openBundleSource resolves a -warm-from operand.
+func openBundleSource(src string) (io.ReadCloser, error) {
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		client := &http.Client{Timeout: 5 * time.Minute}
+		resp, err := client.Get(src)
+		if err != nil {
+			return nil, fmt.Errorf("store: warm from %s: %w", src, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			return nil, fmt.Errorf("store: warm from %s: status %d: %s", src, resp.StatusCode, b)
+		}
+		return resp.Body, nil
+	}
+	f, err := os.Open(src)
+	if err != nil {
+		return nil, fmt.Errorf("store: warm from %s: %w", src, err)
+	}
+	return f, nil
+}

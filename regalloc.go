@@ -36,6 +36,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/iloc"
 	"repro/internal/interp"
+	"repro/internal/store"
 	"repro/internal/suite"
 	"repro/internal/target"
 	"repro/internal/telemetry"
@@ -237,6 +238,28 @@ func NewDriver(cfg DriverConfig) *Driver { return driver.New(cfg) }
 // most capacity entries (0 = unbounded). Share one cache across drivers
 // and runs to make repeated allocations free.
 func NewResultCache(capacity int) *ResultCache { return driver.NewCache(capacity) }
+
+// Persistent result store types (internal/store): a ResultStore is the
+// tiered cache — the in-memory LRU as L1 over a disk tier that survives
+// restarts — and drops into DriverConfig.Cache wherever a ResultCache
+// fits. StoreStats snapshots both tiers plus the disk tier's fault and
+// flush counters; BundleImportStats summarizes one bundle import. See
+// "Persistent cache & bundles" in docs/ALGORITHMS.md and
+// cmd/ralloc-bundle.
+type (
+	ResultStore       = store.Tiered
+	StoreStats        = store.Stats
+	BundleImportStats = store.ImportStats
+)
+
+// OpenResultStore opens (creating if needed) a persistent result store
+// rooted at dir, with the in-memory tier bounded to l1Capacity entries
+// (0 = unbounded). Entries are self-validating on read: corruption is
+// quarantined and re-allocated, never served. Close the store to land
+// write-behind entries before process exit.
+func OpenResultStore(dir string, l1Capacity int) (*ResultStore, error) {
+	return store.Open(dir, l1Capacity)
+}
 
 // AllocateBatch allocates a module — a set of routines — concurrently
 // with a throwaway engine, returning per-routine results in input

@@ -13,8 +13,9 @@ trap '[ -n "$pid" ] && kill "$pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
 
 go build -o "$tmp/rallocd" ./cmd/rallocd
 go build -o "$tmp/rallocload" ./cmd/rallocload
+go build -o "$tmp/ralloc-bundle" ./cmd/ralloc-bundle
 
-"$tmp/rallocd" -addr 127.0.0.1:0 -addr-file "$tmp/addr" 2>"$tmp/rallocd.log" &
+"$tmp/rallocd" -addr 127.0.0.1:0 -addr-file "$tmp/addr" -cache-dir "$tmp/cache" 2>"$tmp/rallocd.log" &
 pid=$!
 
 i=0
@@ -42,6 +43,17 @@ addr=$(cat "$tmp/addr")
     -requests 1 -c 1 -expect-verified \
     -require-strategy ssa-spill -strategy ssa-spill \
     -out "$tmp/smoke_strategy.json"
+
+# The bundle surface: GET /v1/cache/bundle must stream a snapshot of
+# the disk cache tier that inspect validates entry by entry (the two
+# allocations above cached under two option sets — at least one entry).
+"$tmp/ralloc-bundle" export -url "http://$addr" -out "$tmp/bundle.tar.gz"
+"$tmp/ralloc-bundle" inspect "$tmp/bundle.tar.gz" >"$tmp/inspect.out"
+if ! grep -q '^entries [1-9][0-9]* invalid 0$' "$tmp/inspect.out"; then
+    echo "server_smoke: GET /v1/cache/bundle yielded an empty or invalid bundle:" >&2
+    cat "$tmp/inspect.out" >&2
+    exit 1
+fi
 
 # Graceful shutdown: SIGTERM must drain in-flight work and exit 0.
 kill -TERM "$pid"

@@ -1,0 +1,134 @@
+#!/bin/sh
+# Persistent-cache smoke test (make smoke-store): proves the disk cache
+# tier and its bundles end to end, against real daemons.
+#
+#   1. restart:  a daemon populates -cache-dir, drains; a second daemon
+#                on the same directory serves the same request as a
+#                disk-tier cache hit with byte-identical code.
+#   2. bundle:   `ralloc-bundle export -url` snapshots the running
+#                daemon over GET /v1/cache/bundle; inspect validates
+#                every entry.
+#   3. warm-up:  a third daemon on a FRESH directory boots with
+#                -warm-from bundle and serves a disk hit on its very
+#                first request (readiness gates on the import).
+#   4. import + corruption: the bundle imports into another fresh
+#                directory offline; a deliberately bit-flipped entry is
+#                quarantined — the daemon re-allocates, still answers a
+#                verified 200 with the same bytes, and never serves the
+#                corrupt entry.
+#
+# Uses only repo tools (rallocd, rallocload, ralloc-bundle) and the go
+# toolchain. Every assertion that "the cache worked" is enforced by
+# rallocload's -require-cache-hits/-require-disk-hits exit status plus
+# byte comparison of -code-out files.
+set -eu
+
+cd "$(dirname "$0")/.."
+tmp=$(mktemp -d)
+pid=""
+trap '[ -n "$pid" ] && kill "$pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/rallocd" ./cmd/rallocd
+go build -o "$tmp/rallocload" ./cmd/rallocload
+go build -o "$tmp/ralloc-bundle" ./cmd/ralloc-bundle
+
+# boot starts rallocd with the given extra flags and waits for its
+# address file; the caller reads $addr afterwards.
+boot() {
+    log="$1"; shift
+    rm -f "$tmp/addr"
+    "$tmp/rallocd" -addr 127.0.0.1:0 -addr-file "$tmp/addr" "$@" 2>"$tmp/$log" &
+    pid=$!
+    i=0
+    while [ ! -s "$tmp/addr" ] && [ $i -lt 100 ]; do
+        i=$((i + 1))
+        sleep 0.1
+    done
+    if [ ! -s "$tmp/addr" ]; then
+        echo "store_smoke: rallocd never wrote its address" >&2
+        cat "$tmp/$log" >&2
+        exit 1
+    fi
+    addr=$(cat "$tmp/addr")
+}
+
+# stop SIGTERMs the current daemon and requires a clean drain.
+stop() {
+    kill -TERM "$pid"
+    if ! wait "$pid"; then
+        echo "store_smoke: rallocd exited nonzero on SIGTERM" >&2
+        exit 1
+    fi
+    pid=""
+}
+
+# --- 1. restart survival -------------------------------------------------
+boot d1.log -cache-dir "$tmp/c1"
+"$tmp/rallocload" -url "http://$addr" -input testdata/sumabs.iloc \
+    -requests 1 -c 1 -expect-verified -wait-ready 10s \
+    -code-out "$tmp/cold.code" -out "$tmp/cold.json"
+stop
+
+boot d2.log -cache-dir "$tmp/c1"
+"$tmp/rallocload" -url "http://$addr" -input testdata/sumabs.iloc \
+    -requests 1 -c 1 -expect-verified -wait-ready 10s \
+    -require-cache-hits 1 -require-disk-hits 1 \
+    -code-out "$tmp/warm.code" -out "$tmp/warm.json"
+if ! cmp -s "$tmp/cold.code" "$tmp/warm.code"; then
+    echo "store_smoke: restart changed the served bytes" >&2
+    exit 1
+fi
+echo "store_smoke: restart served a byte-identical disk hit"
+
+# --- 2. bundle export over HTTP -----------------------------------------
+"$tmp/ralloc-bundle" export -url "http://$addr" -out "$tmp/bundle.tar.gz"
+stop
+"$tmp/ralloc-bundle" inspect "$tmp/bundle.tar.gz" >"$tmp/inspect.out"
+if ! grep -q '^entries 1 invalid 0$' "$tmp/inspect.out"; then
+    echo "store_smoke: unexpected bundle inventory:" >&2
+    cat "$tmp/inspect.out" >&2
+    exit 1
+fi
+echo "store_smoke: bundle exported over GET /v1/cache/bundle and validated"
+
+# --- 3. boot-time warm-up on a fresh directory ---------------------------
+boot d3.log -cache-dir "$tmp/c2" -warm-from "$tmp/bundle.tar.gz"
+"$tmp/rallocload" -url "http://$addr" -input testdata/sumabs.iloc \
+    -requests 1 -c 1 -expect-verified -wait-ready 10s \
+    -require-cache-hits 1 -require-disk-hits 1 \
+    -code-out "$tmp/warm3.code" -out "$tmp/warm3.json"
+stop
+if ! cmp -s "$tmp/cold.code" "$tmp/warm3.code"; then
+    echo "store_smoke: -warm-from served different bytes" >&2
+    exit 1
+fi
+echo "store_smoke: fresh daemon served a disk hit on its first request (-warm-from)"
+
+# --- 4. offline import, then corruption is quarantined -------------------
+"$tmp/ralloc-bundle" import -cache-dir "$tmp/c3" "$tmp/bundle.tar.gz"
+entry=$(find "$tmp/c3/objects" -type f | head -1)
+if [ -z "$entry" ]; then
+    echo "store_smoke: import left no entry on disk" >&2
+    exit 1
+fi
+# Flip one byte in the middle of the entry's payload.
+size=$(wc -c <"$entry")
+printf 'X' | dd of="$entry" bs=1 seek=$((size / 2)) conv=notrunc 2>/dev/null
+
+boot d4.log -cache-dir "$tmp/c3"
+"$tmp/rallocload" -url "http://$addr" -input testdata/sumabs.iloc \
+    -requests 1 -c 1 -expect-verified -wait-ready 10s \
+    -code-out "$tmp/requarantine.code" -out "$tmp/requarantine.json"
+stop
+if ! cmp -s "$tmp/cold.code" "$tmp/requarantine.code"; then
+    echo "store_smoke: response after corruption differs from a clean allocation" >&2
+    exit 1
+fi
+if [ -z "$(find "$tmp/c3/quarantine" -type f 2>/dev/null)" ]; then
+    echo "store_smoke: corrupt entry was not quarantined" >&2
+    cat "$tmp/d4.log" >&2
+    exit 1
+fi
+echo "store_smoke: corrupt entry quarantined, request re-allocated verbatim"
+
+echo "store_smoke: ok"
