@@ -4,17 +4,18 @@
 
 GO ?= go
 
-.PHONY: check ci fmt vet build test race verify fuzz smoke-server smoke-store smoke-strategies bench bench-server benchdiff benchdiff-soft
+.PHONY: check ci fmt vet build test race verify fuzz smoke-server smoke-store smoke-cluster smoke-strategies bench bench-server benchdiff benchdiff-soft
 
-check: fmt vet build test race verify fuzz smoke-strategies smoke-server smoke-store
+check: fmt vet build test race verify fuzz smoke-strategies smoke-server smoke-store smoke-cluster
 
 # ci runs exactly what .github/workflows/ci.yml runs, in the same
 # order: the gates, the fuzz smoke, the strategy-matrix smoke, the
-# serving smoke, the persistent-cache smoke, the benchmark snapshots,
-# then the regression comparison against the committed baselines. The
-# comparison is soft here as in CI (shared runners are noisy) — run
-# `make benchdiff` for the hard-failing version.
-ci: fmt vet build test race fuzz smoke-strategies smoke-server smoke-store bench bench-server benchdiff-soft
+# serving smoke, the persistent-cache smoke, the cluster chaos smoke,
+# the benchmark snapshots, then the regression comparison against the
+# committed baselines. The comparison is soft here as in CI (shared
+# runners are noisy) — run `make benchdiff` for the hard-failing
+# version.
+ci: fmt vet build test race fuzz smoke-strategies smoke-server smoke-store smoke-cluster bench bench-server benchdiff-soft
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -71,6 +72,15 @@ smoke-server:
 # a deliberately corrupted entry is quarantined and never served.
 smoke-store:
 	sh scripts/store_smoke.sh
+
+# smoke-cluster is the chaos gate: three rallocd backends behind
+# rallocproxy, content-keyed routing proven by warm cache hits through
+# the proxy, then the backend owning the workload is SIGKILLed
+# mid-load. Zero contract violations allowed (only 200/429, every 200
+# verified), the breaker must open and recover when the backend
+# restarts, and the whole cluster must drain cleanly.
+smoke-cluster:
+	sh scripts/cluster_smoke.sh
 
 # bench runs the go-test benchmark suite, then the batch-driver
 # benchmark, which snapshots routines/sec, parallel speedup and cache

@@ -1,11 +1,12 @@
 // Command rallocd is the allocation daemon: it serves the register
 // allocator over HTTP (see internal/server).
 //
-//	rallocd [-addr host:port] [-addr-file path] [-mode remat|chaitin]
+//	rallocd [-addr host:port] [-addr-file path] [-instance-id name]
+//	        [-mode remat|chaitin]
 //	        [-regs N] [-verify=false] [-j N] [-cache-size N]
 //	        [-cache-dir dir] [-warm-from file|url]
 //	        [-max-inflight N] [-max-queue N]
-//	        [-default-deadline d] [-max-deadline d] [-drain d]
+//	        [-default-deadline d] [-max-deadline d] [-drain-timeout d]
 //	        [-trace out.json]
 //
 // Endpoints: POST /v1/allocate (one ILOC source, one or more routines),
@@ -25,9 +26,18 @@
 // up, so scripts can use "-addr 127.0.0.1:0" and discover the ephemeral
 // port without racing the daemon.
 //
+// -instance-id names this replica; the name is stamped on every
+// response as the X-Ralloc-Backend header (and per-unit in batch
+// bodies), which is how the rallocproxy routing layer and the load
+// generator attribute results to backends. Empty derives
+// "<hostname>-<pid>".
+//
 // SIGINT/SIGTERM starts a graceful shutdown: /readyz flips to 503, the
-// listener stops accepting, and in-flight batches get up to -drain to
-// finish before the process exits. Exit status 0 means a clean drain.
+// listener stops accepting, and in-flight batches get up to
+// -drain-timeout (alias -drain) to finish before the process exits. A
+// request still running when the timeout fires is abandoned — its count
+// is logged and its connection closed — but the exit status stays 0: a
+// wedged request must not turn a routine SIGTERM into a failed deploy.
 package main
 
 import (
@@ -64,7 +74,10 @@ func main() {
 	maxQueue := flag.Int("max-queue", 0, "requests waiting beyond max-inflight before shedding (0 = 4x max-inflight, -1 = none)")
 	defaultDeadline := flag.Duration("default-deadline", 30*time.Second, "per-request deadline when the client sends no X-Deadline-Ms")
 	maxDeadline := flag.Duration("max-deadline", 2*time.Minute, "upper clamp on client-requested deadlines")
-	drain := flag.Duration("drain", 30*time.Second, "grace period for in-flight requests on shutdown")
+	var drain time.Duration
+	flag.DurationVar(&drain, "drain", 30*time.Second, "grace period for in-flight requests on shutdown (alias of -drain-timeout)")
+	flag.DurationVar(&drain, "drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown; when it fires, remaining requests are abandoned (logged) and the process still exits 0")
+	instanceID := flag.String("instance-id", "", "name stamped on every response as X-Ralloc-Backend (empty: <hostname>-<pid>)")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file on clean shutdown")
 	flag.Parse()
 
@@ -105,6 +118,7 @@ func main() {
 		DefaultDeadline:   *defaultDeadline,
 		MaxDeadline:       *maxDeadline,
 		Telemetry:         sink,
+		InstanceID:        *instanceID,
 	}
 	if *cacheDir != "" {
 		disk, err := store.OpenDisk(*cacheDir)
@@ -165,13 +179,22 @@ func main() {
 	}
 
 	// Graceful drain: stop advertising readiness, stop accepting, give
-	// in-flight batches the grace period to answer.
-	fmt.Fprintf(os.Stderr, "rallocd: shutting down (drain %v)\n", *drain)
+	// in-flight batches the grace period to answer. A request that
+	// outlives the grace period is abandoned — logged and cut off — so a
+	// wedged allocation cannot hang SIGTERM forever; the exit status
+	// stays 0 because the *daemon* did its part of the contract.
+	fmt.Fprintf(os.Stderr, "rallocd: shutting down (drain %v)\n", drain)
 	srv.SetReady(false)
-	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := hs.Shutdown(shutCtx); err != nil {
-		fail(fmt.Errorf("drain: %w", err))
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "rallocd: drain timeout after %v: abandoning %d in-flight request(s)\n",
+				drain, srv.InFlight())
+			hs.Close()
+		} else {
+			fail(fmt.Errorf("drain: %w", err))
+		}
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fail(err)

@@ -4,12 +4,25 @@
 // latency quantiles as JSON (BENCH_server.json in CI; cmd/benchdiff
 // gates it against the committed baseline).
 //
-//	rallocload -url http://host:port [-input file.iloc] [-c 4]
+//	rallocload -url http://host:port[,http://host:port...]
+//	           [-input file.iloc] [-c 4]
 //	           [-duration 5s] [-requests N] [-deadline-ms N]
-//	           [-strategy name] [-require-strategy name]
+//	           [-retry-429 N] [-strategy name] [-require-strategy name]
 //	           [-phases cold,warm] [-expect-verified]
 //	           [-require-cache-hits N] [-require-disk-hits N]
 //	           [-code-out file] [-out BENCH_server.json]
+//
+// -url accepts a comma-separated target list; workers spread requests
+// round-robin across them (a set of rallocd replicas, or one or more
+// rallocproxy front ends). Readiness waiting and strategy checking run
+// against every target; the output counts 200s per X-Ralloc-Backend
+// instance in "backends", which is how the cluster smoke test finds a
+// victim backend that is actually serving before killing it.
+//
+// -retry-429 N retries a shed request up to N times, honoring the
+// response's Retry-After header (capped at 2s per wait). Retries are
+// counted separately as "retries_429"; a request still shed after its
+// retry budget counts as shed, exactly like -retry-429 0.
 //
 // -strategy sends the named allocation strategy in each request's
 // options. -require-strategy first asks GET /v1/strategies and fails
@@ -76,6 +89,7 @@ type report struct {
 	Requests       int64   `json:"requests"`
 	OK             int64   `json:"ok"`
 	Shed           int64   `json:"shed"`
+	Retries429     int64   `json:"retries_429,omitempty"`
 	Errors         int64   `json:"errors"`
 	RequestsPerSec float64 `json:"requests_per_sec"`
 	MeanMs         float64 `json:"mean_ms"`
@@ -88,6 +102,10 @@ type report struct {
 	// by its persistent disk tier.
 	CacheHits     int64 `json:"cache_hits"`
 	CacheDiskHits int64 `json:"cache_disk_hits,omitempty"`
+	// Backends counts 200 responses per X-Ralloc-Backend instance —
+	// through the routing proxy this is the observed request spread, and
+	// the cluster smoke test greps it to pick a victim that is serving.
+	Backends map[string]int64 `json:"backends,omitempty"`
 	// Phases carries the per-phase breakdown when -phases is set.
 	Phases []phaseReport `json:"phases,omitempty"`
 	// ServerStore is the daemon's store.* metrics (per-tier cache
@@ -103,6 +121,7 @@ type phaseReport struct {
 	Requests       int64   `json:"requests"`
 	OK             int64   `json:"ok"`
 	Shed           int64   `json:"shed"`
+	Retries429     int64   `json:"retries_429,omitempty"`
 	Errors         int64   `json:"errors"`
 	RequestsPerSec float64 `json:"requests_per_sec"`
 	MeanMs         float64 `json:"mean_ms"`
@@ -120,15 +139,18 @@ type shotResult struct {
 	hits     int64
 	diskHits int64
 	code     string
+	backend  string
+	retries  int64
 }
 
 func main() {
-	url := flag.String("url", "", "base URL of the rallocd instance (required)")
+	url := flag.String("url", "", "base URL(s) of rallocd/rallocproxy instances, comma-separated (required); workers round-robin across them")
 	input := flag.String("input", "testdata/sumabs.iloc", "ILOC source file to allocate")
 	conc := flag.Int("c", 4, "concurrent closed-loop workers")
 	duration := flag.Duration("duration", 5*time.Second, "how long to run each phase (ignored with -requests)")
 	requests := flag.Int64("requests", 0, "send exactly this many requests per phase instead of running for -duration")
 	deadlineMs := flag.Int("deadline-ms", 0, "X-Deadline-Ms header to send (0 = none)")
+	retry429 := flag.Int("retry-429", 0, "retry a shed (429) request up to N times, honoring Retry-After")
 	strategy := flag.String("strategy", "", "allocation strategy to request (empty = server default)")
 	requireStrategy := flag.String("require-strategy", "", "fail unless GET /v1/strategies lists this name")
 	phases := flag.String("phases", "", "comma-separated phase names; the workload runs once per phase (e.g. cold,warm)")
@@ -142,16 +164,26 @@ func main() {
 	if *url == "" {
 		fail(fmt.Errorf("-url is required"))
 	}
-
-	if *waitReady > 0 {
-		if err := awaitReady(*url, *waitReady); err != nil {
-			fail(err)
+	var targets []string
+	for _, u := range strings.Split(*url, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			targets = append(targets, strings.TrimSuffix(u, "/"))
 		}
 	}
+	if len(targets) == 0 {
+		fail(fmt.Errorf("-url lists no targets"))
+	}
 
-	if *requireStrategy != "" {
-		if err := checkStrategyListed(*url, *requireStrategy); err != nil {
-			fail(err)
+	for _, t := range targets {
+		if *waitReady > 0 {
+			if err := awaitReady(t, *waitReady); err != nil {
+				fail(err)
+			}
+		}
+		if *requireStrategy != "" {
+			if err := checkStrategyListed(t, *requireStrategy); err != nil {
+				fail(err)
+			}
 		}
 	}
 
@@ -180,13 +212,15 @@ func main() {
 
 	run := runner{
 		client:         &http.Client{Timeout: 2 * time.Minute},
-		url:            *url,
+		urls:           targets,
 		body:           body,
 		conc:           *conc,
 		duration:       *duration,
 		requests:       *requests,
 		deadlineMs:     *deadlineMs,
+		retry429:       *retry429,
 		expectVerified: *expectVerified,
+		backends:       make(map[string]int64),
 	}
 
 	r := report{
@@ -208,6 +242,7 @@ func main() {
 		r.Requests += pr.Requests
 		r.OK += pr.OK
 		r.Shed += pr.Shed
+		r.Retries429 += pr.Retries429
 		r.Errors += pr.Errors
 		r.CacheHits += pr.CacheHits
 		r.CacheDiskHits += pr.CacheDiskHits
@@ -217,7 +252,8 @@ func main() {
 		r.RequestsPerSec = float64(r.OK) / r.DurationSec
 	}
 	r.MeanMs, r.P50Ms, r.P90Ms, r.P99Ms, r.MaxMs = quantiles(allLats)
-	r.ServerStore = scrapeStoreMetrics(run.client, *url)
+	r.Backends = run.snapshotBackends()
+	r.ServerStore = scrapeStoreMetrics(run.client, targets[0])
 
 	if *codeOut != "" {
 		code, _ := run.firstCode.Load().(string)
@@ -239,8 +275,8 @@ func main() {
 	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fail(err)
 	}
-	fmt.Fprintf(os.Stderr, "rallocload: %d ok, %d shed, %d error(s) in %.2fs (%.0f req/s, p50 %.2fms, p99 %.2fms, %d cache hits, %d from disk)\n",
-		r.OK, r.Shed, r.Errors, r.DurationSec, r.RequestsPerSec, r.P50Ms, r.P99Ms, r.CacheHits, r.CacheDiskHits)
+	fmt.Fprintf(os.Stderr, "rallocload: %d ok, %d shed (%d retried), %d error(s) in %.2fs (%.0f req/s, p50 %.2fms, p99 %.2fms, %d cache hits, %d from disk)\n",
+		r.OK, r.Shed, r.Retries429, r.Errors, r.DurationSec, r.RequestsPerSec, r.P50Ms, r.P99Ms, r.CacheHits, r.CacheDiskHits)
 	if r.Errors > 0 {
 		err, _ := run.firstErr.Load().(error)
 		fail(fmt.Errorf("%d request(s) violated the 200-or-429 contract (first: %v)", r.Errors, err))
@@ -257,24 +293,45 @@ func main() {
 }
 
 // runner holds the fixed workload shared by all phases plus the
-// cross-phase capture slots (first error, first allocated code).
+// cross-phase capture slots (first error, first allocated code) and the
+// cross-phase per-backend attribution counts.
 type runner struct {
 	client         *http.Client
-	url            string
+	urls           []string
 	body           []byte
 	conc           int
 	duration       time.Duration
 	requests       int64
 	deadlineMs     int
+	retry429       int
 	expectVerified bool
 	firstErr       atomic.Value
 	firstCode      atomic.Value
+	next           atomic.Int64
+
+	mu       sync.Mutex
+	backends map[string]int64
+}
+
+// snapshotBackends copies the per-backend 200 counts for the report.
+func (rn *runner) snapshotBackends() map[string]int64 {
+	rn.mu.Lock()
+	defer rn.mu.Unlock()
+	if len(rn.backends) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(rn.backends))
+	for k, v := range rn.backends {
+		out[k] = v
+	}
+	return out
 }
 
 // phase runs one closed-loop leg of the workload and summarizes it.
 func (rn *runner) phase(name string) (phaseReport, []time.Duration) {
 	var (
 		sent, ok, shed, errs atomic.Int64
+		retries              atomic.Int64
 		hits, diskHits       atomic.Int64
 		mu                   sync.Mutex
 		lats                 []time.Duration
@@ -301,6 +358,7 @@ func (rn *runner) phase(name string) (phaseReport, []time.Duration) {
 				t0 := time.Now()
 				sr, rerr := rn.shoot()
 				lat := time.Since(t0)
+				retries.Add(sr.retries)
 				switch {
 				case rerr != nil:
 					errs.Add(1)
@@ -313,6 +371,11 @@ func (rn *runner) phase(name string) (phaseReport, []time.Duration) {
 					diskHits.Add(sr.diskHits)
 					if sr.code != "" {
 						rn.firstCode.CompareAndSwap(nil, sr.code)
+					}
+					if sr.backend != "" {
+						rn.mu.Lock()
+						rn.backends[sr.backend]++
+						rn.mu.Unlock()
 					}
 					local = append(local, lat)
 				}
@@ -331,6 +394,7 @@ func (rn *runner) phase(name string) (phaseReport, []time.Duration) {
 		Requests:      ok.Load() + shed.Load() + errs.Load(),
 		OK:            ok.Load(),
 		Shed:          shed.Load(),
+		Retries429:    retries.Load(),
 		Errors:        errs.Load(),
 		CacheHits:     hits.Load(),
 		CacheDiskHits: diskHits.Load(),
@@ -342,50 +406,82 @@ func (rn *runner) phase(name string) (phaseReport, []time.Duration) {
 	return pr, lats
 }
 
-// shoot sends one allocation request and classifies the answer. Any
-// error return counts against the serving contract.
+// shoot sends one allocation request — round-robin across the targets —
+// and classifies the answer. A 429 is retried up to -retry-429 times,
+// honoring the response's Retry-After (capped so a hostile hint cannot
+// stall a worker); sr.retries counts the retries spent. Any error
+// return counts against the serving contract.
 func (rn *runner) shoot() (shotResult, error) {
 	var sr shotResult
-	req, err := http.NewRequest(http.MethodPost, rn.url+"/v1/allocate", bytes.NewReader(rn.body))
-	if err != nil {
-		return sr, err
+	base := rn.urls[int(rn.next.Add(1)-1)%len(rn.urls)]
+	for {
+		req, err := http.NewRequest(http.MethodPost, base+"/v1/allocate", bytes.NewReader(rn.body))
+		if err != nil {
+			return sr, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if rn.deadlineMs > 0 {
+			req.Header.Set("X-Deadline-Ms", fmt.Sprintf("%d", rn.deadlineMs))
+		}
+		resp, err := rn.client.Do(req)
+		if err != nil {
+			return sr, err
+		}
+		done, err := rn.classify(&sr, resp)
+		if done || err != nil {
+			return sr, err
+		}
+		// Shed with retry budget left: honor Retry-After, go again.
+		sr.retries++
+		time.Sleep(retryWait(resp.Header))
 	}
-	req.Header.Set("Content-Type", "application/json")
-	if rn.deadlineMs > 0 {
-		req.Header.Set("X-Deadline-Ms", fmt.Sprintf("%d", rn.deadlineMs))
+}
+
+// retryWait turns a 429's Retry-After into a bounded sleep: the header's
+// delay-seconds capped at 2s, or 100ms when absent/unparseable.
+func retryWait(h http.Header) time.Duration {
+	if sec, err := strconv.Atoi(h.Get("Retry-After")); err == nil && sec > 0 {
+		d := time.Duration(sec) * time.Second
+		if d > 2*time.Second {
+			d = 2 * time.Second
+		}
+		return d
 	}
-	resp, err := rn.client.Do(req)
-	if err != nil {
-		return sr, err
-	}
+	return 100 * time.Millisecond
+}
+
+// classify consumes one response. done=false means "shed, and the retry
+// budget allows another attempt".
+func (rn *runner) classify(sr *shotResult, resp *http.Response) (done bool, err error) {
 	defer resp.Body.Close()
 	sr.status = resp.StatusCode
 	switch resp.StatusCode {
 	case http.StatusTooManyRequests:
 		io.Copy(io.Discard, resp.Body)
-		return sr, nil
+		return sr.retries >= int64(rn.retry429), nil
 	case http.StatusOK:
 		var ar server.AllocateResponse
 		if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
-			return sr, fmt.Errorf("bad 200 body: %w", err)
+			return true, fmt.Errorf("bad 200 body: %w", err)
 		}
 		var code strings.Builder
 		for _, u := range ar.Results {
 			if u.Error != "" {
-				return sr, fmt.Errorf("unit %s failed: %s", u.Name, u.Error)
+				return true, fmt.Errorf("unit %s failed: %s", u.Name, u.Error)
 			}
 			if rn.expectVerified && !u.Verified {
-				return sr, fmt.Errorf("unit %s not verified", u.Name)
+				return true, fmt.Errorf("unit %s not verified", u.Name)
 			}
 			code.WriteString(u.Code)
 		}
 		sr.hits = int64(ar.Stats.CacheHits)
 		sr.diskHits = int64(ar.Stats.CacheDiskHits)
 		sr.code = code.String()
-		return sr, nil
+		sr.backend = resp.Header.Get(server.BackendHeader)
+		return true, nil
 	default:
 		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return sr, fmt.Errorf("status %d: %s", resp.StatusCode, b)
+		return true, fmt.Errorf("status %d: %s", resp.StatusCode, b)
 	}
 }
 
@@ -407,9 +503,11 @@ func quantiles(lats []time.Duration) (mean, p50, p90, p99, max float64) {
 	return ms(sum / time.Duration(len(sorted))), ms(q(0.50)), ms(q(0.90)), ms(q(0.99)), ms(sorted[len(sorted)-1])
 }
 
-// scrapeStoreMetrics fetches GET /metrics and keeps the store.* lines —
-// the daemon's per-tier cache counters — as a name→value map. Best
-// effort: a missing endpoint or unparsable line just yields nil/less.
+// scrapeStoreMetrics fetches GET /metrics from the first target and
+// keeps the store.* lines (a daemon's per-tier cache counters) and the
+// proxy.* lines (a rallocproxy's routing/retry/breaker counters) as a
+// name→value map. Best effort: a missing endpoint or unparsable line
+// just yields nil/less.
 func scrapeStoreMetrics(client *http.Client, base string) map[string]int64 {
 	resp, err := client.Get(base + "/metrics")
 	if err != nil {
@@ -423,7 +521,7 @@ func scrapeStoreMetrics(client *http.Client, base string) map[string]int64 {
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
-		if len(fields) != 2 || !strings.HasPrefix(fields[0], "store.") {
+		if len(fields) != 2 || !(strings.HasPrefix(fields[0], "store.") || strings.HasPrefix(fields[0], "proxy.")) {
 			continue
 		}
 		v, err := strconv.ParseInt(fields[1], 10, 64)

@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/url"
+	"sync/atomic"
+	"time"
+)
+
+// Backend is one rallocd instance behind the proxy: its base URL, the
+// verdict of the active health prober, and its circuit breaker. The
+// two signals compose: the prober flips `ready` (and feeds the breaker
+// so a backend that dies between requests is discovered without
+// sacrificing client traffic), the breaker accumulates passive
+// failures from real requests. Routing skips a backend that is
+// unready or whose breaker refuses the request — unless every backend
+// is refused, in which case the ring order is tried anyway: the
+// cluster would rather attempt a doubtful backend than refuse without
+// trying ("a cheap guaranteed path must always exist").
+type Backend struct {
+	id      string
+	base    *url.URL
+	breaker *Breaker
+
+	// ready is the active prober's last verdict. It starts true —
+	// optimism costs one failed request, pessimism would black-hole a
+	// healthy cluster until the first probe lands.
+	ready atomic.Bool
+
+	probes      atomic.Int64
+	probeFails  atomic.Int64
+	requests    atomic.Int64
+	failures    atomic.Int64
+	lastFailure atomic.Int64 // unix nanos, 0 = never
+}
+
+func newBackend(id string, base *url.URL, threshold int, cooldown time.Duration) *Backend {
+	b := &Backend{id: id, base: base, breaker: NewBreaker(threshold, cooldown)}
+	b.ready.Store(true)
+	return b
+}
+
+// ID returns the backend's ring identity (its base URL).
+func (b *Backend) ID() string { return b.id }
+
+// Ready reports the active prober's last verdict.
+func (b *Backend) Ready() bool { return b.ready.Load() }
+
+// Breaker exposes the backend's circuit breaker (tests assert its
+// state machine; /v1/cluster reports it).
+func (b *Backend) Breaker() *Breaker { return b.breaker }
+
+// noteFailure records a passive failure for status reporting.
+func (b *Backend) noteFailure() {
+	b.failures.Add(1)
+	b.lastFailure.Store(time.Now().UnixNano())
+}
+
+// probe performs one active health check: GET /readyz with a bounded
+// context. A 200 marks the backend ready and — when the breaker is
+// recovering — serves as its half-open probe, closing the circuit
+// without spending a client request. Anything else (non-200, timeout,
+// transport failure) marks it unready and counts as a breaker failure,
+// so a backend that dies quietly between requests is evicted from
+// routing by the prober alone.
+func (b *Backend) probe(ctx context.Context, client *http.Client, timeout time.Duration) {
+	b.probes.Add(1)
+	pctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, b.base.String()+"/readyz", nil)
+	if err != nil {
+		return
+	}
+	resp, err := client.Do(req)
+	if err == nil {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+		resp.Body.Close()
+	}
+	if err != nil || resp.StatusCode != http.StatusOK {
+		b.probeFails.Add(1)
+		b.ready.Store(false)
+		b.noteFailure()
+		b.breaker.Failure()
+		return
+	}
+	b.ready.Store(true)
+	if b.breaker.State() != BreakerClosed && b.breaker.Allow() {
+		b.breaker.Success()
+	}
+}
+
+// BackendStatus is one backend's row in the /v1/cluster report.
+type BackendStatus struct {
+	ID       string `json:"id"`
+	Ready    bool   `json:"ready"`
+	Breaker  string `json:"breaker"`
+	Requests int64  `json:"requests"`
+	Failures int64  `json:"failures"`
+	Probes   int64  `json:"probes"`
+}
+
+func (b *Backend) status() BackendStatus {
+	return BackendStatus{
+		ID:       b.id,
+		Ready:    b.ready.Load(),
+		Breaker:  b.breaker.State().String(),
+		Requests: b.requests.Load(),
+		Failures: b.failures.Load(),
+		Probes:   b.probes.Load(),
+	}
+}

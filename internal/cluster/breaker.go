@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed passes traffic, counting consecutive failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen fails fast: the backend gets no traffic until the
+	// cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits a bounded number of probe requests; one
+	// success closes the breaker, one failure reopens it.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker is a per-backend circuit breaker: closed → open after a run
+// of consecutive failures, open → half-open once the cooldown elapses,
+// half-open → closed on a probe success (→ open again on a probe
+// failure). It exists so a dead backend costs the cluster one failed
+// request per cooldown instead of one per incoming request: everything
+// else fails over along the ring without touching it.
+//
+// The contract is Allow → exactly one of Success/Failure: Allow
+// reserves the half-open probe slot, the outcome report resolves it.
+// Safe for concurrent use.
+type Breaker struct {
+	mu        sync.Mutex
+	state     BreakerState
+	threshold int
+	cooldown  time.Duration
+	maxProbes int
+	failures  int
+	probes    int
+	openedAt  time.Time
+
+	// now is the clock, injectable for deterministic tests.
+	now func() time.Time
+	// onTransition observes every state change (telemetry, logs,
+	// chaos-test assertions). Called without the breaker lock held.
+	onTransition func(from, to BreakerState)
+}
+
+// NewBreaker builds a closed breaker: threshold consecutive failures
+// open it (<= 0: 3), cooldown is the open → half-open delay (<= 0: 1s).
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, maxProbes: 1, now: time.Now}
+}
+
+// OnTransition installs the state-change observer. Set before traffic.
+func (b *Breaker) OnTransition(fn func(from, to BreakerState)) { b.onTransition = fn }
+
+// State reports the current position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Allow reports whether a request may proceed. In the open state it
+// transitions to half-open once the cooldown has elapsed, granting the
+// caller the probe slot; a true return obliges the caller to report
+// Success or Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	var fire func()
+	defer func() {
+		b.mu.Unlock()
+		if fire != nil {
+			fire()
+		}
+	}()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		fire = b.transition(BreakerHalfOpen)
+		b.probes = 1
+		return true
+	default: // half-open
+		if b.probes >= b.maxProbes {
+			return false
+		}
+		b.probes++
+		return true
+	}
+}
+
+// Success reports a request that reached the backend and got a
+// coherent answer (any parseable HTTP response that is not a 5xx —
+// a 429 means "alive but saturated", which is health, not failure).
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	var fire func()
+	switch b.state {
+	case BreakerClosed:
+		b.failures = 0
+	case BreakerHalfOpen:
+		fire = b.transition(BreakerClosed)
+		b.failures = 0
+		b.probes = 0
+	}
+	b.mu.Unlock()
+	if fire != nil {
+		fire()
+	}
+}
+
+// Failure reports a transport error, timeout, truncated body, or 5xx.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	var fire func()
+	switch b.state {
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			fire = b.transition(BreakerOpen)
+			b.openedAt = b.now()
+		}
+	case BreakerHalfOpen:
+		fire = b.transition(BreakerOpen)
+		b.openedAt = b.now()
+		b.probes = 0
+	}
+	b.mu.Unlock()
+	if fire != nil {
+		fire()
+	}
+}
+
+// transition changes state and returns the deferred observer call (to
+// run after the lock is released, so observers may inspect the
+// breaker).
+func (b *Breaker) transition(to BreakerState) func() {
+	from := b.state
+	b.state = to
+	if b.onTransition == nil || from == to {
+		return nil
+	}
+	fn := b.onTransition
+	return func() { fn(from, to) }
+}

@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// testClock is an injectable manual clock for deterministic breaker
+// tests.
+type testClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newTestClock() *testClock { return &testClock{now: time.Unix(1000, 0)} }
+
+func (c *testClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *testClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+type transitionLog struct {
+	mu    sync.Mutex
+	moves []string
+}
+
+func (l *transitionLog) record(from, to BreakerState) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.moves = append(l.moves, from.String()+">"+to.String())
+}
+
+func (l *transitionLog) list() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.moves...)
+}
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *testClock, *transitionLog) {
+	b := NewBreaker(threshold, cooldown)
+	clock := newTestClock()
+	b.now = clock.Now
+	log := &transitionLog{}
+	b.OnTransition(log.record)
+	return b, clock, log
+}
+
+func TestBreakerStaysClosedUnderThreshold(t *testing.T) {
+	b, _, log := newTestBreaker(3, time.Second)
+	for i := 0; i < 10; i++ {
+		b.Failure()
+		b.Failure()
+		b.Success() // resets the consecutive-failure count
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+	if moves := log.list(); len(moves) != 0 {
+		t.Fatalf("unexpected transitions %v", moves)
+	}
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, _, log := newTestBreaker(3, time.Second)
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused request %d", i)
+		}
+		b.Failure()
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v after threshold failures, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a request before cooldown")
+	}
+	if moves := log.list(); len(moves) != 1 || moves[0] != "closed>open" {
+		t.Fatalf("transitions = %v, want [closed>open]", moves)
+	}
+}
+
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	b, clock, log := newTestBreaker(2, time.Second)
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker did not open")
+	}
+	clock.Advance(999 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("open breaker allowed a request inside the cooldown")
+	}
+	clock.Advance(2 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("open breaker refused the probe after the cooldown")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v after cooldown probe grant, want half-open", b.State())
+	}
+	// Only one probe at a time.
+	if b.Allow() {
+		t.Fatal("half-open breaker granted a second concurrent probe")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v after probe success, want closed", b.State())
+	}
+	want := []string{"closed>open", "open>half-open", "half-open>closed"}
+	if moves := log.list(); len(moves) != 3 || moves[0] != want[0] || moves[1] != want[1] || moves[2] != want[2] {
+		t.Fatalf("transitions = %v, want %v", moves, want)
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, clock, _ := newTestBreaker(2, time.Second)
+	b.Failure()
+	b.Failure()
+	clock.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v after probe failure, want open", b.State())
+	}
+	// The cooldown restarts from the failed probe.
+	if b.Allow() {
+		t.Fatal("reopened breaker allowed a request immediately")
+	}
+	clock.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("reopened breaker refused the next probe after a fresh cooldown")
+	}
+}
+
+func TestBreakerConcurrency(t *testing.T) {
+	b := NewBreaker(3, time.Millisecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				if b.Allow() {
+					if (n+j)%3 == 0 {
+						b.Failure()
+					} else {
+						b.Success()
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	// No deadlock, no panic; the state is some valid position.
+	if s := b.State(); s != BreakerClosed && s != BreakerOpen && s != BreakerHalfOpen {
+		t.Fatalf("invalid state %v", s)
+	}
+}

@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// The ring implements consistent hashing with virtual nodes: each
+// backend owns VNodes points on a 64-bit circle, a key routes to the
+// first point clockwise from its own hash, and failover walks on to
+// the next *distinct* backend. Because the routing key is the same
+// content address the driver's result cache uses, all requests for one
+// (routine, options) pair land on one backend — its L1/L2 cache tiers
+// see every repeat — and adding or removing a backend only moves the
+// keys adjacent to its points (1/N of the space), not the whole
+// key population.
+
+// ringPoint is one virtual node: a position on the circle owned by a
+// backend.
+type ringPoint struct {
+	hash uint64
+	id   string
+}
+
+// Ring is an immutable consistent-hash ring over a set of backend IDs.
+// Build with NewRing; safe for concurrent use.
+type Ring struct {
+	points []ringPoint
+	ids    []string // distinct backend ids, registration order
+}
+
+// NewRing places each id at vnodes points (vnodes <= 0: 64) on the
+// circle. IDs must be distinct; duplicates collapse.
+func NewRing(ids []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	seen := make(map[string]bool, len(ids))
+	r := &Ring{}
+	for _, id := range ids {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		r.ids = append(r.ids, id)
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: pointHash(fmt.Sprintf("%s#%d", id, i)), id: id})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].id < r.points[j].id
+	})
+	return r
+}
+
+// pointHash maps a label onto the circle. sha256 keeps placement
+// independent of Go's map/hash seeds: the same backend set always
+// yields the same ring, across processes and restarts — a proxy
+// restart cannot silently reshuffle cache locality.
+func pointHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Backends returns the distinct backend IDs in registration order.
+func (r *Ring) Backends() []string { return append([]string(nil), r.ids...) }
+
+// Owner returns the backend owning key, or "" for an empty ring.
+func (r *Ring) Owner(key string) string {
+	seq := r.Sequence(key, 1)
+	if len(seq) == 0 {
+		return ""
+	}
+	return seq[0]
+}
+
+// Sequence returns up to n distinct backends in failover order for
+// key: the owner first, then successive distinct backends clockwise.
+// n <= 0 returns every backend. This is the ring's replica placement:
+// retries walk the sequence so a dead owner's keys consistently fail
+// over to the same next backend (which then accumulates the warm
+// cache for them).
+func (r *Ring) Sequence(key string, n int) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	if n <= 0 || n > len(r.ids) {
+		n = len(r.ids)
+	}
+	h := pointHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if start == len(r.points) {
+		start = 0
+	}
+	seq := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(seq) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.id] {
+			continue
+		}
+		seen[p.id] = true
+		seq = append(seq, p.id)
+	}
+	return seq
+}

@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func sampleKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%04d", i)
+	}
+	return keys
+}
+
+func TestRingDeterminism(t *testing.T) {
+	ids := []string{"http://a", "http://b", "http://c"}
+	r1 := NewRing(ids, 64)
+	r2 := NewRing(ids, 64)
+	for _, k := range sampleKeys(200) {
+		if r1.Owner(k) != r2.Owner(k) {
+			t.Fatalf("key %q: owners differ between identical rings", k)
+		}
+	}
+	// Registration order must not matter either: the ring is a pure
+	// function of the backend set.
+	r3 := NewRing([]string{"http://c", "http://a", "http://b"}, 64)
+	for _, k := range sampleKeys(200) {
+		if r1.Owner(k) != r3.Owner(k) {
+			t.Fatalf("key %q: owner depends on registration order", k)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	ids := []string{"http://a", "http://b", "http://c"}
+	r := NewRing(ids, 64)
+	counts := make(map[string]int)
+	keys := sampleKeys(3000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	for _, id := range ids {
+		if counts[id] < len(keys)/10 {
+			t.Fatalf("backend %s owns only %d/%d keys — ring badly unbalanced (%v)", id, counts[id], len(keys), counts)
+		}
+	}
+}
+
+func TestRingMinimalDisruption(t *testing.T) {
+	all := []string{"http://a", "http://b", "http://c", "http://d"}
+	rAll := NewRing(all, 64)
+	rLess := NewRing(all[:3], 64)
+	moved := 0
+	for _, k := range sampleKeys(2000) {
+		was := rAll.Owner(k)
+		now := rLess.Owner(k)
+		if was != "http://d" && was != now {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("removing one backend moved %d keys owned by surviving backends; consistent hashing must move none", moved)
+	}
+}
+
+func TestRingSequence(t *testing.T) {
+	ids := []string{"http://a", "http://b", "http://c"}
+	r := NewRing(ids, 64)
+	for _, k := range sampleKeys(100) {
+		seq := r.Sequence(k, 0)
+		if len(seq) != len(ids) {
+			t.Fatalf("key %q: sequence has %d backends, want %d", k, len(seq), len(ids))
+		}
+		seen := make(map[string]bool)
+		for _, id := range seq {
+			if seen[id] {
+				t.Fatalf("key %q: backend %s appears twice in failover sequence", k, id)
+			}
+			seen[id] = true
+		}
+		if seq[0] != r.Owner(k) {
+			t.Fatalf("key %q: sequence head %s is not the owner %s", k, seq[0], r.Owner(k))
+		}
+		if got := r.Sequence(k, 2); len(got) != 2 || got[0] != seq[0] || got[1] != seq[1] {
+			t.Fatalf("key %q: bounded sequence %v does not prefix full sequence %v", k, got, seq)
+		}
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	if owner := NewRing(nil, 8).Owner("k"); owner != "" {
+		t.Fatalf("empty ring owner = %q, want empty", owner)
+	}
+	r := NewRing([]string{"http://only"}, 8)
+	for _, k := range sampleKeys(20) {
+		if r.Owner(k) != "http://only" {
+			t.Fatal("single-backend ring must own every key")
+		}
+	}
+}

@@ -1,0 +1,349 @@
+// Package faultnet is the repository's fault-injection harness: a
+// net.Listener wrapper and an http.RoundTripper wrapper that inject
+// network failure modes on demand — added latency, connection resets,
+// mid-body truncation, synthesized 5xx bursts, and full partition —
+// so the cluster layer's failover, retry, and circuit-breaker behavior
+// can be exercised deterministically inside ordinary `go test -race`
+// runs instead of only by killing live processes.
+//
+// Both wrappers consult a shared *Faults plan, which is mutable while
+// traffic flows: a test arms a fault, drives requests, then heals.
+// Every injected fault is counted per kind so tests can assert they
+// were not vacuous (the fault actually fired).
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Fault kinds, as counted by Faults.Injected.
+const (
+	KindPartition = "partition"
+	KindLatency   = "latency"
+	KindReset     = "reset"
+	KindTruncate  = "truncate"
+	Kind5xx       = "5xx"
+)
+
+// ErrPartitioned is the transport error surfaced while a partition is
+// armed: the peer is unreachable, as if the network dropped every
+// packet.
+var ErrPartitioned = errors.New("faultnet: partitioned: connection refused")
+
+// ErrReset is the transport error surfaced by an armed connection
+// reset: the peer vanished mid-conversation.
+var ErrReset = errors.New("faultnet: connection reset by peer")
+
+// Faults is one injection point's fault plan. The zero value injects
+// nothing; arm faults with the setters. Safe for concurrent use —
+// load generators mutate the plan while requests are in flight.
+type Faults struct {
+	mu          sync.Mutex
+	partitioned bool
+	latency     time.Duration
+	fail5xx     int   // next N requests answer a synthesized 503
+	resetNext   int   // next N requests/conns fail with ErrReset
+	truncNext   int   // next N response bodies are cut short
+	truncAfter  int64 // ... after this many bytes
+	injected    map[string]int
+}
+
+// Partition makes the injection point unreachable: transports fail
+// immediately with ErrPartitioned, listeners close accepted
+// connections before a byte moves. Heal reverses it.
+func (f *Faults) Partition() { f.set(func() { f.partitioned = true }) }
+
+// Heal clears a partition.
+func (f *Faults) Heal() { f.set(func() { f.partitioned = false }) }
+
+// SetLatency adds a fixed delay in front of every request (transport)
+// or every connection's first read (listener). Zero disables.
+func (f *Faults) SetLatency(d time.Duration) { f.set(func() { f.latency = d }) }
+
+// Fail5xx arms the next n transport requests to answer a synthesized
+// 503 without reaching the real backend — a crashing-but-listening
+// process, or an LB answering for a dead one.
+func (f *Faults) Fail5xx(n int) { f.set(func() { f.fail5xx = n }) }
+
+// ResetNext arms the next n requests (or accepted connections) to fail
+// with a connection reset.
+func (f *Faults) ResetNext(n int) { f.set(func() { f.resetNext = n }) }
+
+// TruncateNext arms the next n responses to be cut off after the first
+// `after` body bytes — the observable shape of a process killed while
+// writing a response.
+func (f *Faults) TruncateNext(n int, after int64) {
+	f.set(func() { f.truncNext = n; f.truncAfter = after })
+}
+
+// Injected reports how many times a fault kind has fired (the Kind*
+// constants). Tests use it to assert a fault plan was actually hit.
+func (f *Faults) Injected(kind string) int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected[kind]
+}
+
+func (f *Faults) set(fn func()) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fn()
+}
+
+func (f *Faults) count(kind string) {
+	if f.injected == nil {
+		f.injected = make(map[string]int)
+	}
+	f.injected[kind]++
+}
+
+// plan is one request's consumed slice of the fault plan, decided
+// atomically so concurrent requests don't double-consume counters.
+type plan struct {
+	latency    time.Duration
+	partition  bool
+	reset      bool
+	serve5xx   bool
+	truncate   bool
+	truncAfter int64
+}
+
+// take consumes the faults that apply to one request/connection.
+func (f *Faults) take() plan {
+	if f == nil {
+		return plan{}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p := plan{latency: f.latency, partition: f.partitioned}
+	if p.latency > 0 {
+		f.count(KindLatency)
+	}
+	if p.partition {
+		f.count(KindPartition)
+		return p
+	}
+	if f.resetNext > 0 {
+		f.resetNext--
+		p.reset = true
+		f.count(KindReset)
+		return p
+	}
+	if f.fail5xx > 0 {
+		f.fail5xx--
+		p.serve5xx = true
+		f.count(Kind5xx)
+		return p
+	}
+	if f.truncNext > 0 {
+		f.truncNext--
+		p.truncate = true
+		p.truncAfter = f.truncAfter
+		f.count(KindTruncate)
+	}
+	return p
+}
+
+// Transport is a fault-injecting http.RoundTripper: faults are armed
+// per destination host (req.URL.Host), so a test driving a proxy over
+// several backends can partition exactly one of them.
+type Transport struct {
+	base  http.RoundTripper
+	mu    sync.Mutex
+	hosts map[string]*Faults
+}
+
+// NewTransport wraps base (nil: http.DefaultTransport).
+func NewTransport(base http.RoundTripper) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{base: base, hosts: make(map[string]*Faults)}
+}
+
+// Host returns the fault plan for one destination host ("127.0.0.1:8347"),
+// creating an empty one on first use.
+func (t *Transport) Host(host string) *Faults {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f, ok := t.hosts[host]
+	if !ok {
+		f = &Faults{}
+		t.hosts[host] = f
+	}
+	return f
+}
+
+// RoundTrip applies the destination host's armed faults, then (if the
+// request survives) delegates to the base transport.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f := t.Host(req.URL.Host)
+	p := f.take()
+	if p.latency > 0 {
+		select {
+		case <-time.After(p.latency):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	switch {
+	case p.partition:
+		return nil, fmt.Errorf("dial %s: %w", req.URL.Host, ErrPartitioned)
+	case p.reset:
+		return nil, fmt.Errorf("read from %s: %w", req.URL.Host, ErrReset)
+	case p.serve5xx:
+		body := io.NopCloser(strings.NewReader("faultnet: injected 503\n"))
+		return &http.Response{
+			Status:        "503 Service Unavailable",
+			StatusCode:    http.StatusServiceUnavailable,
+			Proto:         req.Proto,
+			ProtoMajor:    req.ProtoMajor,
+			ProtoMinor:    req.ProtoMinor,
+			Header:        http.Header{"Content-Type": {"text/plain; charset=utf-8"}},
+			Body:          body,
+			ContentLength: -1,
+			Request:       req,
+		}, nil
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil || !p.truncate {
+		return resp, err
+	}
+	resp.Body = &truncatingBody{rc: resp.Body, remaining: p.truncAfter}
+	return resp, nil
+}
+
+// truncatingBody passes through the first `remaining` bytes, then
+// fails the read the way a torn connection would.
+type truncatingBody struct {
+	rc        io.ReadCloser
+	remaining int64
+}
+
+func (b *truncatingBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, fmt.Errorf("%w (body truncated)", ErrReset)
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.rc.Read(p)
+	b.remaining -= int64(n)
+	if err == nil && b.remaining <= 0 {
+		// The next Read errors; callers that got exactly the truncated
+		// prefix still see the failure before EOF.
+		return n, nil
+	}
+	if errors.Is(err, io.EOF) {
+		// The real body ended before the cut point: no fault to inject.
+		return n, io.EOF
+	}
+	return n, err
+}
+
+func (b *truncatingBody) Close() error { return b.rc.Close() }
+
+// Listener wraps a net.Listener so every accepted connection consults
+// the fault plan: a partitioned listener closes connections before a
+// byte moves, an armed reset kills the connection on its next I/O, an
+// armed truncation cuts the connection after N written bytes (the
+// server-side mirror of Transport truncation).
+type Listener struct {
+	net.Listener
+	f *Faults
+}
+
+// WrapListener attaches a fault plan to ln.
+func WrapListener(ln net.Listener, f *Faults) *Listener {
+	return &Listener{Listener: ln, f: f}
+}
+
+// Accept accepts from the inner listener and wraps the connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	p := l.f.take()
+	if p.partition {
+		c.Close()
+		// Hand the closed conn back: the server's first read fails and
+		// it moves on, exactly like an RST racing the accept.
+		return c, nil
+	}
+	return &faultConn{Conn: c, plan: p}, nil
+}
+
+// faultConn applies one accepted connection's consumed fault plan.
+type faultConn struct {
+	net.Conn
+	mu      sync.Mutex
+	plan    plan
+	delayed bool
+	written int64
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	if err := c.gate(); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	if err := c.gate(); err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	truncate := c.plan.truncate
+	var allow int64 = int64(len(p))
+	if truncate {
+		allow = c.plan.truncAfter - c.written
+	}
+	c.mu.Unlock()
+	if truncate && allow <= 0 {
+		c.Conn.Close()
+		return 0, ErrReset
+	}
+	if truncate && allow < int64(len(p)) {
+		n, _ := c.Conn.Write(p[:allow])
+		c.mu.Lock()
+		c.written += int64(n)
+		c.mu.Unlock()
+		c.Conn.Close()
+		return n, ErrReset
+	}
+	n, err := c.Conn.Write(p)
+	c.mu.Lock()
+	c.written += int64(n)
+	c.mu.Unlock()
+	return n, err
+}
+
+// gate applies the once-per-connection faults: first-byte latency and
+// armed resets.
+func (c *faultConn) gate() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.delayed && c.plan.latency > 0 {
+		c.delayed = true
+		c.mu.Unlock()
+		time.Sleep(c.plan.latency)
+		c.mu.Lock()
+	}
+	if c.plan.reset {
+		c.Conn.Close()
+		return ErrReset
+	}
+	return nil
+}

@@ -1,0 +1,264 @@
+package faultnet
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newBackend serves a fixed body over httptest for transport tests.
+func newBackend(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func get(t *testing.T, client *http.Client, url string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client.Do(req)
+}
+
+func TestTransportPassthrough(t *testing.T) {
+	ts := newBackend(t, "hello")
+	client := &http.Client{Transport: NewTransport(nil)}
+	resp, err := get(t, client, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("got %q, %v; want hello", b, err)
+	}
+}
+
+func TestTransportPartitionAndHeal(t *testing.T) {
+	ts := newBackend(t, "hello")
+	tr := NewTransport(nil)
+	client := &http.Client{Transport: tr}
+	host := strings.TrimPrefix(ts.URL, "http://")
+	f := tr.Host(host)
+
+	f.Partition()
+	if _, err := get(t, client, ts.URL); err == nil || !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("partitioned request: got err %v, want ErrPartitioned", err)
+	}
+	if n := f.Injected(KindPartition); n != 1 {
+		t.Fatalf("partition injections = %d, want 1", n)
+	}
+
+	f.Heal()
+	resp, err := get(t, client, ts.URL)
+	if err != nil {
+		t.Fatalf("healed request failed: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestTransportResetBurst(t *testing.T) {
+	ts := newBackend(t, "hello")
+	tr := NewTransport(nil)
+	client := &http.Client{Transport: tr}
+	f := tr.Host(strings.TrimPrefix(ts.URL, "http://"))
+
+	f.ResetNext(2)
+	for i := 0; i < 2; i++ {
+		if _, err := get(t, client, ts.URL); err == nil || !errors.Is(err, ErrReset) {
+			t.Fatalf("reset %d: got err %v, want ErrReset", i, err)
+		}
+	}
+	resp, err := get(t, client, ts.URL)
+	if err != nil {
+		t.Fatalf("post-burst request failed: %v", err)
+	}
+	resp.Body.Close()
+	if n := f.Injected(KindReset); n != 2 {
+		t.Fatalf("reset injections = %d, want 2", n)
+	}
+}
+
+func TestTransport5xxBurst(t *testing.T) {
+	ts := newBackend(t, "hello")
+	tr := NewTransport(nil)
+	client := &http.Client{Transport: tr}
+	f := tr.Host(strings.TrimPrefix(ts.URL, "http://"))
+
+	f.Fail5xx(1)
+	resp, err := get(t, client, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	resp, err = get(t, client, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-burst status = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestTransportTruncation(t *testing.T) {
+	body := strings.Repeat("x", 4096)
+	ts := newBackend(t, body)
+	tr := NewTransport(nil)
+	client := &http.Client{Transport: tr}
+	f := tr.Host(strings.TrimPrefix(ts.URL, "http://"))
+
+	f.TruncateNext(1, 100)
+	resp, err := get(t, client, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err == nil {
+		t.Fatalf("truncated body read succeeded with %d bytes; want error", len(got))
+	}
+	if len(got) > 100 {
+		t.Fatalf("read %d bytes past the 100-byte cut", len(got))
+	}
+
+	// Healed: the full body flows again.
+	resp, err = get(t, client, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || len(got) != len(body) {
+		t.Fatalf("post-truncation read: %d bytes, %v", len(got), err)
+	}
+}
+
+func TestTransportLatency(t *testing.T) {
+	ts := newBackend(t, "hello")
+	tr := NewTransport(nil)
+	client := &http.Client{Transport: tr}
+	f := tr.Host(strings.TrimPrefix(ts.URL, "http://"))
+
+	f.SetLatency(50 * time.Millisecond)
+	start := time.Now()
+	resp, err := get(t, client, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("request finished in %v, want >= 50ms of injected latency", d)
+	}
+}
+
+func TestTransportPerHostIsolation(t *testing.T) {
+	a := newBackend(t, "a")
+	b := newBackend(t, "b")
+	tr := NewTransport(nil)
+	client := &http.Client{Transport: tr}
+
+	tr.Host(strings.TrimPrefix(a.URL, "http://")).Partition()
+	if _, err := get(t, client, a.URL); err == nil {
+		t.Fatal("partitioned host a served a request")
+	}
+	resp, err := get(t, client, b.URL)
+	if err != nil {
+		t.Fatalf("healthy host b failed: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestListenerFaults(t *testing.T) {
+	f := &Faults{}
+	inner := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, strings.Repeat("y", 2048))
+	}))
+	inner.Listener = WrapListener(inner.Listener, f)
+	inner.Start()
+	defer inner.Close()
+
+	// Clean pass first. Connections are per-request here: disable
+	// keep-alives so each request's conn consults the plan.
+	tr := &http.Transport{DisableKeepAlives: true}
+	client := &http.Client{Transport: tr, Timeout: 5 * time.Second}
+	resp, err := client.Get(inner.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadAll(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Armed reset: the accepted connection dies on first I/O.
+	f.ResetNext(1)
+	if _, err := client.Get(inner.URL); err == nil {
+		t.Fatal("reset-armed connection served a request")
+	}
+
+	// Truncation: the response is cut after 64 bytes.
+	f.TruncateNext(1, 64)
+	resp, err = client.Get(inner.URL)
+	if err == nil {
+		_, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr == nil {
+			t.Fatal("truncated response read succeeded")
+		}
+	}
+
+	// Healed again.
+	resp, err = client.Get(inner.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || len(got) != 2048 {
+		t.Fatalf("healed read: %d bytes, %v", len(got), err)
+	}
+}
+
+func TestFaultsConcurrentUse(t *testing.T) {
+	ts := newBackend(t, "hello")
+	tr := NewTransport(nil)
+	client := &http.Client{Transport: tr}
+	f := tr.Host(strings.TrimPrefix(ts.URL, "http://"))
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				resp, err := get(t, client, ts.URL)
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 10; i++ {
+		f.Partition()
+		f.Heal()
+		f.Fail5xx(1)
+		f.ResetNext(1)
+	}
+	wg.Wait()
+}

@@ -69,8 +69,12 @@ type OptionsRequest struct {
 	Strict bool `json:"strict,omitempty"`
 }
 
-// toOptions merges the request options over the server defaults.
-func (o *OptionsRequest) toOptions(def core.Options) (core.Options, error) {
+// Resolve merges the request options over def (the server defaults,
+// or — for per-unit batch options — the batch-level resolution).
+// Exported because the routing proxy (internal/cluster) performs the
+// same resolution to compute the content key a request will cache
+// under, so cluster routing and backend caching agree on identity.
+func (o *OptionsRequest) Resolve(def core.Options) (core.Options, error) {
 	opts := def
 	if o == nil {
 		return opts, nil
@@ -142,6 +146,11 @@ type UnitResponse struct {
 	// Error is the allocator failure for this unit (strict-mode faults,
 	// cancellation); the batch as a whole still returns 200.
 	Error string `json:"error,omitempty"`
+	// Backend is the instance ID of the rallocd that produced this
+	// unit (mirrors the X-Ralloc-Backend response header). Through the
+	// routing proxy a batch's units may come from several backends;
+	// this field is how tests and operators attribute each one.
+	Backend string `json:"backend,omitempty"`
 	// Verified reports that the independent post-allocation checker ran
 	// against this result and accepted it (the verifier verdict; a
 	// rejected allocation never reaches the response — it degrades or

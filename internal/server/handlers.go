@@ -46,7 +46,7 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request, info *re
 		writeError(w, http.StatusBadRequest, ErrorResponse{Error: "empty iloc source", RequestID: info.id})
 		return
 	}
-	opts, err := req.Options.toOptions(s.cfg.Options)
+	opts, err := req.Options.Resolve(s.cfg.Options)
 	if err != nil {
 		optionsError(w, info, err)
 		return
@@ -78,7 +78,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, info *reque
 		writeError(w, http.StatusBadRequest, ErrorResponse{Error: "empty batch", RequestID: info.id})
 		return
 	}
-	def, err := req.Options.toOptions(s.cfg.Options)
+	def, err := req.Options.Resolve(s.cfg.Options)
 	if err != nil {
 		optionsError(w, info, err)
 		return
@@ -86,7 +86,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, info *reque
 	units := make([]driver.Unit, len(req.Units))
 	verify := make([]bool, len(req.Units))
 	for i, bu := range req.Units {
-		opts, err := bu.Options.toOptions(def)
+		opts, err := bu.Options.Resolve(def)
 		if err != nil {
 			optionsError(w, info, fmt.Errorf("unit %d: %w", i, err))
 			return
@@ -170,6 +170,7 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, info *requestInfo
 	for i, ur := range batch.Results {
 		u := UnitResponse{
 			Name:      ur.Name,
+			Backend:   s.cfg.InstanceID,
 			CacheHit:  ur.CacheHit,
 			CacheTier: ur.CacheTier,
 			AllocMs:   float64(ur.Wall) / float64(time.Millisecond),

@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -92,11 +93,31 @@ type Config struct {
 	// allocator/driver instrumentation. A nil sink gets a fresh metrics
 	// registry (no tracer) so /metrics always serves.
 	Telemetry *telemetry.Sink
+	// InstanceID names this server instance; it is stamped on every
+	// response as the X-Ralloc-Backend header (and per-unit in batch
+	// bodies) so results can be attributed through the routing proxy.
+	// Empty derives "<hostname>-<pid>".
+	InstanceID string
+}
+
+// DefaultOptions is the serving default allocation configuration: the
+// standard machine, the paper's remat mode, and the independent
+// verifier on. The routing proxy uses the same value to compute
+// routing keys, so proxy and backend agree on request identity.
+func DefaultOptions() core.Options {
+	return core.Options{Machine: target.Standard(), Mode: core.ModeRemat, Verify: true}
 }
 
 func (c Config) withDefaults() Config {
 	if !c.DefaultOptionsSet && c.Options == (core.Options{}) {
-		c.Options = core.Options{Machine: target.Standard(), Mode: core.ModeRemat, Verify: true}
+		c.Options = DefaultOptions()
+	}
+	if c.InstanceID == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "rallocd"
+		}
+		c.InstanceID = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
 	if c.MaxInFlight <= 0 {
 		c.MaxInFlight = runtime.GOMAXPROCS(0)
@@ -148,8 +169,9 @@ type Server struct {
 	slots chan struct{}
 	queue chan struct{}
 
-	reqSeq atomic.Int64
-	ready  atomic.Bool
+	reqSeq   atomic.Int64
+	ready    atomic.Bool
+	inflight atomic.Int64
 }
 
 // New builds a Server and its HTTP handler tree.
@@ -208,8 +230,28 @@ var (
 )
 
 // Handler returns the service's HTTP handler tree, ready to mount on an
-// http.Server (or httptest).
-func (s *Server) Handler() http.Handler { return s.mux }
+// http.Server (or httptest). Every response — allocations, health,
+// metrics, errors — carries the X-Ralloc-Backend header naming this
+// instance, so anything observed through the routing proxy can be
+// attributed to the backend that produced it.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(BackendHeader, s.cfg.InstanceID)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// BackendHeader is the response header naming the rallocd instance
+// that produced a response. The routing proxy relays it verbatim.
+const BackendHeader = "X-Ralloc-Backend"
+
+// InstanceID returns the name this server stamps on its responses.
+func (s *Server) InstanceID() string { return s.cfg.InstanceID }
+
+// InFlight reports how many admitted requests are currently running —
+// what a drain is waiting on, and what gets abandoned when the drain
+// deadline fires.
+func (s *Server) InFlight() int64 { return s.inflight.Load() }
 
 // Metrics returns the telemetry registry backing /metrics.
 func (s *Server) Metrics() *telemetry.Registry { return s.cfg.Telemetry.Metrics }
@@ -255,7 +297,9 @@ func (s *Server) admit(done <-chan struct{}) (release func(), err error) {
 	tel.Gauge("server.queue.depth").Add(-1)
 	tel.Observe("server.queue.wait", time.Since(start).Nanoseconds())
 	tel.Gauge("server.inflight").Add(1)
+	s.inflight.Add(1)
 	return func() {
+		s.inflight.Add(-1)
 		tel.Gauge("server.inflight").Add(-1)
 		<-s.slots
 		<-s.queue

@@ -539,3 +539,35 @@ func TestOptionsMergeOverDefaults(t *testing.T) {
 		t.Fatalf("unit = %+v", u)
 	}
 }
+
+func TestBackendHeaderStampedEverywhere(t *testing.T) {
+	ts := newTestServer(t, Config{InstanceID: "unit-test-7"})
+	// Allocation responses carry the instance both as the header and
+	// per-unit in the body, so proxied batches stay attributable.
+	status, hdr, body := post(t, ts.URL+"/v1/allocate", AllocateRequest{ILOC: testSource(t)}, nil)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d\n%s", status, body)
+	}
+	if got := hdr.Get(BackendHeader); got != "unit-test-7" {
+		t.Fatalf("%s = %q, want unit-test-7", BackendHeader, got)
+	}
+	if ar := decodeAllocate(t, body); ar.Results[0].Backend != "unit-test-7" {
+		t.Fatalf("unit backend = %q, want unit-test-7", ar.Results[0].Backend)
+	}
+	// Every response — health, errors — carries the header too.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(BackendHeader); got != "unit-test-7" {
+		t.Fatalf("healthz %s = %q", BackendHeader, got)
+	}
+}
+
+func TestInstanceIDDefaultDerived(t *testing.T) {
+	s := New(Config{})
+	if s.InstanceID() == "" {
+		t.Fatal("default instance ID empty")
+	}
+}
