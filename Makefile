@@ -4,18 +4,18 @@
 
 GO ?= go
 
-.PHONY: check ci fmt vet build test race verify fuzz smoke-server smoke-store smoke-cluster smoke-strategies bench bench-server benchdiff benchdiff-soft
+.PHONY: check ci fmt vet build test race verify fuzz smoke-server smoke-store smoke-cluster smoke-jobs smoke-strategies bench bench-server bench-cluster benchdiff benchdiff-soft
 
-check: fmt vet build test race verify fuzz smoke-strategies smoke-server smoke-store smoke-cluster
+check: fmt vet build test race verify fuzz smoke-strategies smoke-server smoke-store smoke-cluster smoke-jobs
 
 # ci runs exactly what .github/workflows/ci.yml runs, in the same
 # order: the gates, the fuzz smoke, the strategy-matrix smoke, the
 # serving smoke, the persistent-cache smoke, the cluster chaos smoke,
-# the benchmark snapshots, then the regression comparison against the
-# committed baselines. The comparison is soft here as in CI (shared
-# runners are noisy) — run `make benchdiff` for the hard-failing
-# version.
-ci: fmt vet build test race fuzz smoke-strategies smoke-server smoke-store smoke-cluster bench bench-server benchdiff-soft
+# the async-job/audit smoke, the benchmark snapshots, then the
+# regression comparison against the committed baselines. The comparison
+# is soft here as in CI (shared runners are noisy) — run `make
+# benchdiff` for the hard-failing version.
+ci: fmt vet build test race fuzz smoke-strategies smoke-server smoke-store smoke-cluster smoke-jobs bench bench-server bench-cluster benchdiff-soft
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -82,6 +82,15 @@ smoke-store:
 smoke-cluster:
 	sh scripts/cluster_smoke.sh
 
+# smoke-jobs proves the async job API byte-identical to the sync path
+# through the routing proxy — submit POST /v1/jobs, poll, stream NDJSON
+# results, compare code bytes against a sync run — and requires the
+# cluster-wide audit stream (GET /v1/audit?flush=1) lossless: verdicts
+# logged, zero drops, everything flushed, job-attributed records on
+# disk after the drain.
+smoke-jobs:
+	sh scripts/jobs_smoke.sh
+
 # bench runs the go-test benchmark suite, then the batch-driver
 # benchmark, which snapshots routines/sec, parallel speedup and cache
 # hit rate into BENCH_driver.json (uploaded as a CI artifact).
@@ -94,16 +103,24 @@ bench:
 bench-server:
 	sh scripts/server_bench.sh BENCH_server.json
 
-# benchdiff gates both fresh snapshots against their committed
+# bench-cluster drives three rallocd backends through rallocproxy
+# closed-loop (cold then warm phase) and snapshots the through-proxy
+# throughput and latency quantiles into BENCH_cluster.json.
+bench-cluster:
+	sh scripts/cluster_bench.sh BENCH_cluster.json
+
+# benchdiff gates the fresh snapshots against their committed
 # baselines: >20% routines/sec regression for the driver report, >20%
-# throughput drop or p99 rise for the serving report.
+# throughput drop or p99 rise for the serving and cluster reports.
 benchdiff:
 	$(GO) run ./cmd/benchdiff \
 		-pair BENCH_baseline.json:BENCH_driver.json \
-		-pair BENCH_server_baseline.json:BENCH_server.json
+		-pair BENCH_server_baseline.json:BENCH_server.json \
+		-pair BENCH_cluster_baseline.json:BENCH_cluster.json
 
 benchdiff-soft:
 	@$(GO) run ./cmd/benchdiff \
 		-pair BENCH_baseline.json:BENCH_driver.json \
 		-pair BENCH_server_baseline.json:BENCH_server.json \
+		-pair BENCH_cluster_baseline.json:BENCH_cluster.json \
 		|| echo "benchdiff: regression reported above (soft-fail; see make benchdiff)"

@@ -6,13 +6,28 @@
 //	        [-regs N] [-verify=false] [-j N] [-cache-size N]
 //	        [-cache-dir dir] [-warm-from file|url]
 //	        [-max-inflight N] [-max-queue N]
+//	        [-max-jobs N] [-job-retention d]
+//	        [-audit-dir dir | -audit-url url] [-audit-buffer N]
+//	        [-audit-flush d] [-audit-block]
 //	        [-default-deadline d] [-max-deadline d] [-drain-timeout d]
 //	        [-trace out.json]
 //
 // Endpoints: POST /v1/allocate (one ILOC source, one or more routines),
-// POST /v1/batch (named units with per-unit options), GET /v1/cache/bundle
-// (tar.gz snapshot of the disk cache tier, 404 without -cache-dir),
+// POST /v1/batch (named units with per-unit options), POST /v1/jobs
+// (the same batch body accepted asynchronously: answers a job ID at
+// once; GET /v1/jobs/{id} polls status, GET /v1/jobs/{id}/results
+// streams completed units as NDJSON in input order, DELETE cancels),
+// GET /v1/cache/bundle (tar.gz snapshot of the disk cache tier, 404
+// without -cache-dir), GET /v1/audit (audit-stream delivery counters),
 // GET /healthz, /readyz, /metrics, /debug/vars and /debug/pprof.
+//
+// -audit-dir or -audit-url turns on the audit stream: one NDJSON
+// record per allocation verdict — content key, strategy, cache tier,
+// verifier verdict, degradation, timing, backend — batched and flushed
+// to a rotating file set in -audit-dir or POSTed to -audit-url. The
+// stream is lossy by design under backpressure (drops are counted on
+// /metrics as audit.dropped); -audit-block trades that for lossless
+// delivery that can stall allocations when the sink stalls.
 //
 // The result cache is bounded by default (-cache-size 4096; 0 removes
 // the bound) and in-memory only unless -cache-dir names a directory:
@@ -52,6 +67,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/driver"
 	"repro/internal/server"
@@ -72,6 +88,13 @@ func main() {
 	warmFrom := flag.String("warm-from", "", "import a cache bundle (file path or http(s) URL, e.g. a peer's /v1/cache/bundle) into -cache-dir before flipping /readyz")
 	maxInflight := flag.Int("max-inflight", 0, "requests allocating concurrently (0 = number of CPUs)")
 	maxQueue := flag.Int("max-queue", 0, "requests waiting beyond max-inflight before shedding (0 = 4x max-inflight, -1 = none)")
+	maxJobs := flag.Int("max-jobs", 0, "async jobs queued+running before POST /v1/jobs sheds with 429 (0 = 64)")
+	jobRetention := flag.Duration("job-retention", 0, "how long a finished job's results stay pollable before GET answers 410 job_expired (0 = 15m)")
+	auditDir := flag.String("audit-dir", "", "write the audit stream (one NDJSON record per allocation verdict) to a rotating file set in this directory")
+	auditURL := flag.String("audit-url", "", "POST audit batches to this collector URL as application/x-ndjson (mutually exclusive with -audit-dir)")
+	auditBuffer := flag.Int("audit-buffer", 0, "audit stream buffer in records; overflow drops (counted) unless -audit-block (0 = 4096)")
+	auditFlush := flag.Duration("audit-flush", 0, "audit batch flush interval (0 = 1s)")
+	auditBlock := flag.Bool("audit-block", false, "block allocations instead of dropping audit records when the stream is full (lossless, but a stalled sink stalls serving)")
 	defaultDeadline := flag.Duration("default-deadline", 30*time.Second, "per-request deadline when the client sends no X-Deadline-Ms")
 	maxDeadline := flag.Duration("max-deadline", 2*time.Minute, "upper clamp on client-requested deadlines")
 	var drain time.Duration
@@ -115,10 +138,53 @@ func main() {
 		Workers:           *jobs,
 		MaxInFlight:       *maxInflight,
 		MaxQueue:          *maxQueue,
+		MaxJobs:           *maxJobs,
+		JobRetention:      *jobRetention,
 		DefaultDeadline:   *defaultDeadline,
 		MaxDeadline:       *maxDeadline,
 		Telemetry:         sink,
 		InstanceID:        *instanceID,
+	}
+
+	// The audit stream: one record per allocation verdict, batched to a
+	// rotating file set or an HTTP collector. The daemon owns the
+	// logger; it is flushed and closed after the drain so the last
+	// verdicts land.
+	var auditLog *audit.Logger
+	if *auditDir != "" && *auditURL != "" {
+		fail(fmt.Errorf("-audit-dir and -audit-url are mutually exclusive"))
+	}
+	if *auditDir != "" || *auditURL != "" {
+		var auditSink audit.Sink
+		var err error
+		if *auditDir != "" {
+			auditSink, err = audit.NewFileSink(*auditDir, audit.FileSinkConfig{})
+		} else {
+			auditSink = audit.NewHTTPSink(*auditURL, nil)
+		}
+		if err != nil {
+			fail(err)
+		}
+		auditLog, err = audit.New(audit.Config{
+			Sink:          auditSink,
+			BufferSize:    *auditBuffer,
+			FlushInterval: *auditFlush,
+			BlockOnFull:   *auditBlock,
+			Telemetry:     sink,
+		})
+		if err != nil {
+			fail(err)
+		}
+		cfg.Audit = auditLog
+		mode := "lossy under backpressure (drops counted as audit.dropped)"
+		if *auditBlock {
+			mode = "lossless (-audit-block: a stalled sink stalls serving)"
+		}
+		dest := *auditDir
+		if dest == "" {
+			dest = *auditURL
+		}
+		fmt.Fprintf(os.Stderr, "rallocd: audit stream to %s, %s\n", dest, mode)
 	}
 	if *cacheDir != "" {
 		disk, err := store.OpenDisk(*cacheDir)
@@ -198,6 +264,15 @@ func main() {
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fail(err)
+	}
+	// Cancel any async jobs still running and wait for their runners;
+	// then flush and close the audit stream so the final verdicts
+	// (including those cancellations) are on disk before exit.
+	srv.Close()
+	if auditLog != nil {
+		if err := auditLog.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "rallocd: warning: audit close: %v\n", err)
+		}
 	}
 	// Land write-behind cache entries before exiting so the next boot
 	// on the same -cache-dir starts warm.

@@ -5,7 +5,7 @@
 // gates it against the committed baseline).
 //
 //	rallocload -url http://host:port[,http://host:port...]
-//	           [-input file.iloc] [-c 4]
+//	           [-input file.iloc] [-c 4] [-jobs]
 //	           [-duration 5s] [-requests N] [-deadline-ms N]
 //	           [-retry-429 N] [-strategy name] [-require-strategy name]
 //	           [-phases cold,warm] [-expect-verified]
@@ -18,6 +18,17 @@
 // against every target; the output counts 200s per X-Ralloc-Backend
 // instance in "backends", which is how the cluster smoke test finds a
 // victim backend that is actually serving before killing it.
+//
+// -jobs switches each worker from the synchronous POST /v1/allocate to
+// the async job lifecycle: submit the same workload as a one-unit
+// POST /v1/jobs, poll GET /v1/jobs/{id} until the job is terminal,
+// stream GET /v1/jobs/{id}/results, and hold the NDJSON units to the
+// same verified/no-error bar as a sync 200. A submit shed with 429
+// retries under the same -retry-429 budget. A poll or stream answered
+// 410 with code "job_expired" — the job was reaped by retention before
+// this worker read it — is counted separately as "jobs_expired" and
+// reported explicitly (raise the daemon's -job-retention or poll
+// sooner), distinct from the plain 404 of an unknown ID.
 //
 // -retry-429 N retries a shed request up to N times, honoring the
 // response's Retry-After header (capped at 2s per wait). Retries are
@@ -53,6 +64,12 @@
 // to prove persistence end to end. -code-out writes the allocated code
 // of the first successful response to a file so two runs can be
 // compared byte for byte.
+//
+// -require-audit-clean asks GET /v1/audit?flush=1 (a synchronous flush
+// barrier; through rallocproxy it aggregates the whole cluster) after
+// the run and fails unless the audit stream logged at least one record,
+// dropped none, and flushed everything it logged — how the jobs smoke
+// test proves "one audit record per verdict, none lost".
 package main
 
 import (
@@ -80,11 +97,17 @@ import (
 // the aggregate across all phases and "phases" carries the per-phase
 // breakdown benchdiff gates individually.
 type report struct {
-	GoVersion      string  `json:"go_version"`
-	NumCPU         int     `json:"num_cpu"`
-	URL            string  `json:"url"`
-	Concurrency    int     `json:"concurrency"`
-	DeadlineMs     int     `json:"deadline_ms,omitempty"`
+	GoVersion   string `json:"go_version"`
+	NumCPU      int    `json:"num_cpu"`
+	URL         string `json:"url"`
+	Concurrency int    `json:"concurrency"`
+	DeadlineMs  int    `json:"deadline_ms,omitempty"`
+	// JobsMode marks a run driven through the async job API
+	// (submit/poll/stream) instead of POST /v1/allocate; JobsExpired
+	// counts polls answered 410 "job_expired" — jobs reaped by
+	// retention before this tool read their results.
+	JobsMode       bool    `json:"jobs_mode,omitempty"`
+	JobsExpired    int64   `json:"jobs_expired,omitempty"`
 	DurationSec    float64 `json:"duration_sec"`
 	Requests       int64   `json:"requests"`
 	OK             int64   `json:"ok"`
@@ -147,6 +170,7 @@ func main() {
 	url := flag.String("url", "", "base URL(s) of rallocd/rallocproxy instances, comma-separated (required); workers round-robin across them")
 	input := flag.String("input", "testdata/sumabs.iloc", "ILOC source file to allocate")
 	conc := flag.Int("c", 4, "concurrent closed-loop workers")
+	jobsMode := flag.Bool("jobs", false, "drive the async job API (submit, poll, stream results) instead of POST /v1/allocate")
 	duration := flag.Duration("duration", 5*time.Second, "how long to run each phase (ignored with -requests)")
 	requests := flag.Int64("requests", 0, "send exactly this many requests per phase instead of running for -duration")
 	deadlineMs := flag.Int("deadline-ms", 0, "X-Deadline-Ms header to send (0 = none)")
@@ -157,6 +181,7 @@ func main() {
 	expectVerified := flag.Bool("expect-verified", false, "treat an unverified unit in a 200 as an error")
 	requireCacheHits := flag.Int64("require-cache-hits", -1, "fail unless responses reported at least N cache hits in total")
 	requireDiskHits := flag.Int64("require-disk-hits", -1, "fail unless responses reported at least N disk-tier cache hits in total")
+	requireAuditClean := flag.Bool("require-audit-clean", false, "after the run, fail unless GET /v1/audit?flush=1 reports records logged, zero dropped, all flushed")
 	codeOut := flag.String("code-out", "", "write the allocated code of the first successful response to this file")
 	waitReady := flag.Duration("wait-ready", 0, "poll GET /readyz until 200 for up to this long before shooting (0 = don't wait)")
 	out := flag.String("out", "BENCH_server.json", "output file (- for stdout)")
@@ -191,11 +216,22 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	areq := server.AllocateRequest{ILOC: string(src)}
-	if *strategy != "" {
-		areq.Options = &server.OptionsRequest{Strategy: *strategy}
+	var body []byte
+	if *jobsMode {
+		// The job body is the same workload as a one-unit batch; the
+		// server's async path must hold it to the same bar.
+		jreq := server.BatchRequest{Units: []server.BatchUnit{{ILOC: string(src)}}}
+		if *strategy != "" {
+			jreq.Options = &server.OptionsRequest{Strategy: *strategy}
+		}
+		body, err = json.Marshal(jreq)
+	} else {
+		areq := server.AllocateRequest{ILOC: string(src)}
+		if *strategy != "" {
+			areq.Options = &server.OptionsRequest{Strategy: *strategy}
+		}
+		body, err = json.Marshal(areq)
 	}
-	body, err := json.Marshal(areq)
 	if err != nil {
 		fail(err)
 	}
@@ -219,6 +255,7 @@ func main() {
 		requests:       *requests,
 		deadlineMs:     *deadlineMs,
 		retry429:       *retry429,
+		jobs:           *jobsMode,
 		expectVerified: *expectVerified,
 		backends:       make(map[string]int64),
 	}
@@ -229,6 +266,7 @@ func main() {
 		URL:         *url,
 		Concurrency: *conc,
 		DeadlineMs:  *deadlineMs,
+		JobsMode:    *jobsMode,
 	}
 	var allLats []time.Duration
 	for _, name := range phaseNames {
@@ -252,6 +290,7 @@ func main() {
 		r.RequestsPerSec = float64(r.OK) / r.DurationSec
 	}
 	r.MeanMs, r.P50Ms, r.P90Ms, r.P99Ms, r.MaxMs = quantiles(allLats)
+	r.JobsExpired = run.jobsExpired.Load()
 	r.Backends = run.snapshotBackends()
 	r.ServerStore = scrapeStoreMetrics(run.client, targets[0])
 
@@ -290,6 +329,40 @@ func main() {
 	if *requireDiskHits >= 0 && r.CacheDiskHits < *requireDiskHits {
 		fail(fmt.Errorf("responses reported %d disk-tier hit(s), want at least %d", r.CacheDiskHits, *requireDiskHits))
 	}
+	if *requireAuditClean {
+		if err := checkAuditClean(run.client, targets[0]); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// checkAuditClean flushes and reads the target's audit stream counters
+// and holds them to the lossless bar: records were logged, none were
+// dropped, and the flush barrier delivered every one to the sink.
+func checkAuditClean(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/v1/audit?flush=1")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("GET /v1/audit: status %d: %s", resp.StatusCode, b)
+	}
+	var st server.AuditStatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return fmt.Errorf("GET /v1/audit: bad body: %w", err)
+	}
+	if !st.Enabled || st.Logged == 0 {
+		return fmt.Errorf("audit stream recorded nothing (%+v)", st)
+	}
+	if st.Dropped != 0 {
+		return fmt.Errorf("audit stream dropped %d record(s) (%+v)", st.Dropped, st)
+	}
+	if st.Flushed < st.Logged {
+		return fmt.Errorf("audit flush barrier left %d record(s) undelivered (%+v)", st.Logged-st.Flushed, st)
+	}
+	return nil
 }
 
 // runner holds the fixed workload shared by all phases plus the
@@ -304,10 +377,12 @@ type runner struct {
 	requests       int64
 	deadlineMs     int
 	retry429       int
+	jobs           bool
 	expectVerified bool
 	firstErr       atomic.Value
 	firstCode      atomic.Value
 	next           atomic.Int64
+	jobsExpired    atomic.Int64
 
 	mu       sync.Mutex
 	backends map[string]int64
@@ -412,8 +487,16 @@ func (rn *runner) phase(name string) (phaseReport, []time.Duration) {
 // stall a worker); sr.retries counts the retries spent. Any error
 // return counts against the serving contract.
 func (rn *runner) shoot() (shotResult, error) {
-	var sr shotResult
 	base := rn.urls[int(rn.next.Add(1)-1)%len(rn.urls)]
+	if rn.jobs {
+		return rn.shootJob(base)
+	}
+	return rn.shootSync(base)
+}
+
+// shootSync drives one synchronous POST /v1/allocate round trip.
+func (rn *runner) shootSync(base string) (shotResult, error) {
+	var sr shotResult
 	for {
 		req, err := http.NewRequest(http.MethodPost, base+"/v1/allocate", bytes.NewReader(rn.body))
 		if err != nil {
@@ -485,6 +568,155 @@ func (rn *runner) classify(sr *shotResult, resp *http.Response) (done bool, err 
 	}
 }
 
+// shootJob drives one full async job lifecycle: submit, poll until
+// terminal, stream results, and hold every streamed unit to the same
+// verified/no-error bar as a sync 200. Submit sheds retry under the
+// -retry-429 budget like the sync path; poll and stream must answer
+// 200 (a 410 "job_expired" is the explicit retention-expiry verdict,
+// counted in jobs_expired).
+func (rn *runner) shootJob(base string) (shotResult, error) {
+	var sr shotResult
+	var jr server.JobResponse
+	for {
+		req, err := http.NewRequest(http.MethodPost, base+"/v1/jobs", bytes.NewReader(rn.body))
+		if err != nil {
+			return sr, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if rn.deadlineMs > 0 {
+			req.Header.Set("X-Deadline-Ms", fmt.Sprintf("%d", rn.deadlineMs))
+		}
+		resp, err := rn.client.Do(req)
+		if err != nil {
+			return sr, err
+		}
+		body, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if rerr != nil {
+			return sr, rerr
+		}
+		sr.status = resp.StatusCode
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if sr.retries >= int64(rn.retry429) {
+				return sr, nil
+			}
+			sr.retries++
+			time.Sleep(retryWait(resp.Header))
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			return sr, fmt.Errorf("job submit: status %d: %s", resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &jr); err != nil {
+			return sr, fmt.Errorf("job submit: bad 200 body: %w", err)
+		}
+		break
+	}
+	if jr.JobID == "" {
+		return sr, fmt.Errorf("job submit: 200 without job_id")
+	}
+
+	final, err := rn.pollJob(base, jr.JobID)
+	if err != nil {
+		return sr, err
+	}
+	if final.State != "done" {
+		return sr, fmt.Errorf("job %s finished %s, want done", jr.JobID, final.State)
+	}
+	sr.backend = final.Backend
+	return sr, rn.streamJob(&sr, base, jr.JobID)
+}
+
+// pollJob polls a job's status through to a terminal state.
+func (rn *runner) pollJob(base, id string) (server.JobResponse, error) {
+	var jr server.JobResponse
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		resp, err := rn.client.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			return jr, err
+		}
+		body, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if rerr != nil {
+			return jr, rerr
+		}
+		if resp.StatusCode != http.StatusOK {
+			return jr, rn.jobLookupErr(id, resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &jr); err != nil {
+			return jr, fmt.Errorf("job poll: bad 200 body: %w", err)
+		}
+		if jr.State == "done" || jr.State == "canceled" {
+			return jr, nil
+		}
+		if time.Now().After(deadline) {
+			return jr, fmt.Errorf("job %s still %s after 2m", id, jr.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// streamJob reads the job's NDJSON result stream and applies the sync
+// path's per-unit checks, accumulating cache-hit attribution into sr.
+func (rn *runner) streamJob(sr *shotResult, base, id string) error {
+	resp, err := rn.client.Get(base + "/v1/jobs/" + id + "/results")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		return rn.jobLookupErr(id, resp.StatusCode, body)
+	}
+	var code strings.Builder
+	units := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var u server.UnitResponse
+		if err := json.Unmarshal(sc.Bytes(), &u); err != nil {
+			return fmt.Errorf("job results: bad NDJSON line: %w", err)
+		}
+		units++
+		if u.Error != "" {
+			return fmt.Errorf("unit %s failed: %s", u.Name, u.Error)
+		}
+		if rn.expectVerified && !u.Verified {
+			return fmt.Errorf("unit %s not verified", u.Name)
+		}
+		if u.CacheHit {
+			sr.hits++
+			if u.CacheTier == "l2" {
+				sr.diskHits++
+			}
+		}
+		code.WriteString(u.Code)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("job results: %w", err)
+	}
+	if units == 0 {
+		return fmt.Errorf("job %s streamed no units", id)
+	}
+	sr.code = code.String()
+	return nil
+}
+
+// jobLookupErr classifies a non-200 job poll/stream answer. A 410
+// whose body carries code "job_expired" is the retention contract
+// speaking — the job was reaped before this worker read it — counted
+// separately from errors a wrong ID would produce (404) so a run can
+// tell "retention too short for this poll cadence" apart from a bug.
+func (rn *runner) jobLookupErr(id string, status int, body []byte) error {
+	var er server.ErrorResponse
+	if json.Unmarshal(body, &er) == nil && status == http.StatusGone && er.Code == "job_expired" {
+		rn.jobsExpired.Add(1)
+		return fmt.Errorf("job %s expired before its results were read (410 %s): raise the daemon's -job-retention or poll sooner", id, er.Code)
+	}
+	return fmt.Errorf("job %s lookup: status %d: %s", id, status, body)
+}
+
 // quantiles summarizes a latency sample as (mean, p50, p90, p99, max)
 // in milliseconds. An empty sample is all zeros.
 func quantiles(lats []time.Duration) (mean, p50, p90, p99, max float64) {
@@ -504,10 +736,11 @@ func quantiles(lats []time.Duration) (mean, p50, p90, p99, max float64) {
 }
 
 // scrapeStoreMetrics fetches GET /metrics from the first target and
-// keeps the store.* lines (a daemon's per-tier cache counters) and the
-// proxy.* lines (a rallocproxy's routing/retry/breaker counters) as a
-// name→value map. Best effort: a missing endpoint or unparsable line
-// just yields nil/less.
+// keeps the store.* lines (a daemon's per-tier cache counters), the
+// proxy.* lines (a rallocproxy's routing/retry/breaker counters), the
+// jobs.* lines (async job lifecycle counters) and the audit.* lines
+// (audit-stream delivery/drop counters) as a name→value map. Best
+// effort: a missing endpoint or unparsable line just yields nil/less.
 func scrapeStoreMetrics(client *http.Client, base string) map[string]int64 {
 	resp, err := client.Get(base + "/metrics")
 	if err != nil {
@@ -517,11 +750,19 @@ func scrapeStoreMetrics(client *http.Client, base string) map[string]int64 {
 	if resp.StatusCode != http.StatusOK {
 		return nil
 	}
+	keep := func(name string) bool {
+		for _, p := range []string{"store.", "proxy.", "jobs.", "audit."} {
+			if strings.HasPrefix(name, p) {
+				return true
+			}
+		}
+		return false
+	}
 	var m map[string]int64
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
-		if len(fields) != 2 || !(strings.HasPrefix(fields[0], "store.") || strings.HasPrefix(fields[0], "proxy.")) {
+		if len(fields) != 2 || !keep(fields[0]) {
 			continue
 		}
 		v, err := strconv.ParseInt(fields[1], 10, 64)

@@ -1,0 +1,398 @@
+// Package audit is the allocation service's decision log: a buffered,
+// batched, lossy-by-config stream that records one Record per
+// allocation verdict — which strategy ran, which cache tier answered,
+// what the verifier said, whether the allocation degraded and why —
+// and delivers them to a sink (a rotating NDJSON file set, or an HTTP
+// upload endpoint) off the serving hot path. The design follows OPA's
+// decision-log plugin (plugins/logs): producers never block on the
+// sink, batches amortize delivery, and when the sink cannot keep up
+// the stream *drops records by default rather than stalling the
+// server* — with every drop counted and surfaced through telemetry so
+// loss is observable, never silent.
+//
+// The contract, precisely:
+//
+//   - Log is non-blocking (unless Config.BlockOnFull): a full buffer
+//     drops the new record and increments the drop counters
+//     ("audit.dropped" in the telemetry registry, Stats().Dropped).
+//   - Memory is bounded by BufferSize + BatchSize records regardless
+//     of how long the sink stalls; a recovered sink resumes flushing
+//     where it left off — stalling loses new records, never delivered
+//     ones, and never grows the heap.
+//   - Flush is a barrier: every record accepted before the call is
+//     delivered (or the sink's error returned) before it returns.
+//   - Close flushes and then closes the sink; the logger refuses new
+//     records afterwards (counted as drops, so a straggler writing
+//     after shutdown is visible too).
+package audit
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Record is one allocation verdict. Every field mirrors something the
+// serving layer already decided; the audit stream is a durable copy of
+// those decisions, not a new source of truth. Zero-valued fields are
+// omitted from the NDJSON encoding to keep the stream compact.
+type Record struct {
+	// Time is RFC3339Nano, stamped by Log when empty.
+	Time string `json:"time"`
+	// Backend is the rallocd instance that produced the verdict.
+	Backend string `json:"backend,omitempty"`
+	// RequestID ties the record to one HTTP request; JobID to one async
+	// job (both set for a job's units: the submitting request's ID and
+	// the job's).
+	RequestID string `json:"request_id,omitempty"`
+	JobID     string `json:"job_id,omitempty"`
+	// Unit names the routine within its batch.
+	Unit string `json:"unit,omitempty"`
+	// ContentKey is the driver-cache content key — the same address the
+	// result cache and the cluster ring use, so offline analysis can
+	// join audit records against cache contents and routing decisions.
+	ContentKey string `json:"content_key,omitempty"`
+	// Strategy is the canonical spec of the strategy that produced the
+	// allocation ("remat", "ssa-spill", "remat:split=all-loops", ...).
+	Strategy string `json:"strategy,omitempty"`
+	// CacheHit/CacheTier record whether (and from which tier) the
+	// verdict was served from cache rather than computed.
+	CacheHit  bool   `json:"cache_hit,omitempty"`
+	CacheTier string `json:"cache_tier,omitempty"`
+	// Verified reports the independent post-allocation checker ran and
+	// accepted the code.
+	Verified bool `json:"verified,omitempty"`
+	// Degraded/DegradeReason record a spill-everywhere fallback and why
+	// ("deadline", a contained panic, non-convergence...).
+	Degraded      bool   `json:"degraded,omitempty"`
+	DegradeReason string `json:"degrade_reason,omitempty"`
+	// Error is the per-unit failure for units that produced no
+	// allocation (strict-mode faults, cancellation).
+	Error string `json:"error,omitempty"`
+	// AllocMs is the unit's wall time (lookup + allocation).
+	AllocMs float64 `json:"alloc_ms,omitempty"`
+}
+
+// Config configures a Logger. Sink is required; everything else has a
+// production-shaped default.
+type Config struct {
+	// Sink receives the batched NDJSON payloads.
+	Sink Sink
+	// BufferSize bounds records waiting to be flushed (<= 0: 4096).
+	// This is the loss knob: a stalled sink can delay at most
+	// BufferSize + BatchSize records; beyond that, Log drops.
+	BufferSize int
+	// BatchSize bounds records per sink upload (<= 0: 512).
+	BatchSize int
+	// FlushInterval is how often a partial batch is flushed anyway
+	// (<= 0: 1s), so a quiet server's records still land promptly.
+	FlushInterval time.Duration
+	// BlockOnFull makes Log wait for buffer space instead of dropping —
+	// the lossless configuration, for callers that prefer backpressure
+	// over loss. The default (false) is lossy: serving latency is never
+	// held hostage by the audit sink.
+	BlockOnFull bool
+	// Telemetry receives the stream's counters: audit.records,
+	// audit.dropped, audit.flushes, audit.flush_errors and the
+	// audit.flush.wall histogram. Nil disables (Stats still counts).
+	Telemetry *telemetry.Sink
+	// Now is the record timestamp source (nil: time.Now). Tests pin it.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.BufferSize <= 0 {
+		c.BufferSize = 4096
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 512
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Stats is a point-in-time snapshot of the stream's health. Logged
+// counts records accepted into the buffer; Dropped counts records lost
+// to a full buffer (or a closed logger); Flushed counts records the
+// sink acknowledged. Logged - Flushed is the in-flight backlog.
+type Stats struct {
+	Logged      int64 `json:"logged"`
+	Dropped     int64 `json:"dropped"`
+	Flushed     int64 `json:"flushed"`
+	Flushes     int64 `json:"flushes"`
+	FlushErrors int64 `json:"flush_errors"`
+}
+
+// Logger is the audit stream. Construct with New; Close releases the
+// flusher goroutine and the sink. Safe for concurrent use.
+type Logger struct {
+	cfg Config
+	ch  chan Record
+	// flushReq carries barrier requests into the flusher; the flusher
+	// answers on the embedded channel with the flush outcome. closeReq
+	// asks the flusher to drain and exit (the buffer channel is never
+	// closed, so a racing Log can never panic on it).
+	flushReq chan chan error
+	closeReq chan struct{}
+	done     chan struct{} // closed when the flusher exits
+	closed   atomic.Bool
+
+	logged      atomic.Int64
+	dropped     atomic.Int64
+	flushed     atomic.Int64
+	flushes     atomic.Int64
+	flushErrors atomic.Int64
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// New builds a Logger over the sink and starts its flusher.
+func New(cfg Config) (*Logger, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Sink == nil {
+		return nil, errors.New("audit: Config.Sink is required")
+	}
+	l := &Logger{
+		cfg:      cfg,
+		ch:       make(chan Record, cfg.BufferSize),
+		flushReq: make(chan chan error),
+		closeReq: make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go l.run()
+	return l, nil
+}
+
+// Log submits one record. Nil-safe: a nil *Logger is the disabled
+// stream and ignores everything, so call sites need no guards. An
+// empty Time is stamped here (the verdict instant, not the flush
+// instant). When the buffer is full the record is dropped and counted
+// unless BlockOnFull.
+func (l *Logger) Log(r Record) {
+	if l == nil {
+		return
+	}
+	if r.Time == "" {
+		r.Time = l.cfg.Now().UTC().Format(time.RFC3339Nano)
+	}
+	if l.closed.Load() {
+		l.drop()
+		return
+	}
+	if l.cfg.BlockOnFull {
+		select {
+		case l.ch <- r:
+			l.accept()
+		case <-l.done:
+			l.drop()
+		}
+		return
+	}
+	select {
+	case l.ch <- r:
+		l.accept()
+	default:
+		l.drop()
+	}
+}
+
+func (l *Logger) accept() {
+	l.logged.Add(1)
+	l.cfg.Telemetry.Count("audit.records", 1)
+}
+
+func (l *Logger) drop() {
+	l.dropped.Add(1)
+	l.cfg.Telemetry.Count("audit.dropped", 1)
+}
+
+// Flush is the delivery barrier: it returns once every record accepted
+// before the call has been handed to the sink, or with the sink's
+// error. On a closed logger it reports the close outcome.
+func (l *Logger) Flush() error {
+	if l == nil {
+		return nil
+	}
+	ack := make(chan error, 1)
+	select {
+	case l.flushReq <- ack:
+		return <-ack
+	case <-l.done:
+		return l.closeErr
+	}
+}
+
+// Close flushes, stops the flusher, and closes the sink. Records
+// logged after Close are dropped (and counted).
+func (l *Logger) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.closeOnce.Do(func() {
+		l.closed.Store(true)
+		close(l.closeReq)
+		<-l.done // flusher drains the buffer, final-flushes, exits
+		if err := l.cfg.Sink.Close(); err != nil && l.closeErr == nil {
+			l.closeErr = err
+		}
+	})
+	return l.closeErr
+}
+
+// Stats snapshots the stream's counters. Nil-safe.
+func (l *Logger) Stats() Stats {
+	if l == nil {
+		return Stats{}
+	}
+	return Stats{
+		Logged:      l.logged.Load(),
+		Dropped:     l.dropped.Load(),
+		Flushed:     l.flushed.Load(),
+		Flushes:     l.flushes.Load(),
+		FlushErrors: l.flushErrors.Load(),
+	}
+}
+
+// run is the flusher: it batches records off the buffer and delivers
+// them on size, interval, barrier, or shutdown. pending holds at most
+// BatchSize records; together with the channel that bounds the
+// logger's memory no matter how long the sink stalls.
+func (l *Logger) run() {
+	defer close(l.done)
+	ticker := time.NewTicker(l.cfg.FlushInterval)
+	defer ticker.Stop()
+	var pending []Record
+	for {
+		select {
+		case r := <-l.ch:
+			pending = append(pending, r)
+			if len(pending) >= l.cfg.BatchSize {
+				if l.flush(pending) == nil {
+					pending = pending[:0]
+				} else {
+					// The sink is failing and the batch is full: stop
+					// pulling from the channel until something gives.
+					// Records beyond the channel's capacity are dropped
+					// by Log — bounded memory is the contract, so wait
+					// for the next tick/barrier and retry then.
+					pending = l.stall(pending, ticker)
+					if pending == nil {
+						return // closed while stalled
+					}
+				}
+			}
+		case <-ticker.C:
+			if l.flush(pending) == nil {
+				pending = pending[:0]
+			}
+		case ack := <-l.flushReq:
+			ack <- l.barrier(&pending)
+		case <-l.closeReq:
+			// Drain whatever Log managed to buffer before the closed
+			// flag stopped it, then a final flush. Batches stay
+			// bounded; a sink that is still failing loses the tail
+			// (counted in flush_errors).
+			if err := l.barrier(&pending); err != nil {
+				l.closeErr = err
+			}
+			return
+		}
+	}
+}
+
+// stall parks the flusher on a full pending batch over a failing sink:
+// it retries on every tick (and serves barriers) without reading more
+// records, so memory stays bounded at BufferSize + BatchSize. It
+// returns the emptied pending slice once a flush succeeds, or nil when
+// the logger closed while stalled (the close drain has already run).
+func (l *Logger) stall(pending []Record, ticker *time.Ticker) []Record {
+	for {
+		select {
+		case <-ticker.C:
+			if l.flush(pending) == nil {
+				return pending[:0]
+			}
+		case ack := <-l.flushReq:
+			err := l.flush(pending)
+			if err == nil {
+				pending = pending[:0]
+				err = l.barrier(&pending)
+			}
+			ack <- err
+			if len(pending) == 0 {
+				return pending
+			}
+		case <-l.closeReq:
+			if err := l.flush(pending); err != nil {
+				l.closeErr = err
+			} else {
+				pending = pending[:0]
+				if err := l.barrier(&pending); err != nil {
+					l.closeErr = err
+				}
+			}
+			return nil
+		}
+	}
+}
+
+// barrier drains everything buffered at the moment of the call and
+// flushes it.
+func (l *Logger) barrier(pending *[]Record) error {
+	for {
+		select {
+		case r := <-l.ch:
+			*pending = append(*pending, r)
+			if len(*pending) >= l.cfg.BatchSize {
+				if err := l.flush(*pending); err != nil {
+					return err
+				}
+				*pending = (*pending)[:0]
+			}
+		default:
+			err := l.flush(*pending)
+			if err == nil {
+				*pending = (*pending)[:0]
+			}
+			return err
+		}
+	}
+}
+
+// flush delivers one batch to the sink. An empty batch is a no-op.
+func (l *Logger) flush(batch []Record) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	payload, err := encodeNDJSON(batch)
+	if err != nil {
+		// A record that cannot encode is unrecoverable — count the
+		// batch as errored and move on rather than wedging the stream.
+		l.flushErrors.Add(1)
+		l.cfg.Telemetry.Count("audit.flush_errors", 1)
+		return err
+	}
+	sp := l.cfg.Telemetry.StartSpan("audit", "flush")
+	err = l.cfg.Sink.Upload(payload)
+	wall := sp.End()
+	l.cfg.Telemetry.Observe("audit.flush.wall", wall.Nanoseconds())
+	if err != nil {
+		l.flushErrors.Add(1)
+		l.cfg.Telemetry.Count("audit.flush_errors", 1)
+		return err
+	}
+	l.flushes.Add(1)
+	l.flushed.Add(int64(len(batch)))
+	l.cfg.Telemetry.Count("audit.flushes", 1)
+	l.cfg.Telemetry.Count("audit.flushed", int64(len(batch)))
+	return nil
+}

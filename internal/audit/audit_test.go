@@ -1,0 +1,362 @@
+package audit
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// memSink collects uploads in memory, optionally stalling or failing
+// on demand.
+type memSink struct {
+	mu      sync.Mutex
+	batches [][]byte
+	fail    atomic.Bool
+	block   chan struct{} // non-nil: Upload waits until closed
+	uploads atomic.Int64
+	closed  atomic.Bool
+}
+
+func (s *memSink) Upload(b []byte) error {
+	s.uploads.Add(1)
+	if s.block != nil {
+		<-s.block
+	}
+	if s.fail.Load() {
+		return errors.New("sink down")
+	}
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	s.mu.Lock()
+	s.batches = append(s.batches, cp)
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *memSink) Close() error {
+	s.closed.Store(true)
+	return nil
+}
+
+func (s *memSink) records(t *testing.T) []Record {
+	t.Helper()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Record
+	for _, b := range s.batches {
+		sc := bufio.NewScanner(bytes.NewReader(b))
+		for sc.Scan() {
+			var r Record
+			if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+				t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+			}
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func TestLoggerDeliversEveryRecordInOrder(t *testing.T) {
+	sink := &memSink{}
+	l, err := New(Config{Sink: sink, BatchSize: 7, FlushInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		l.Log(Record{Unit: name(i), Strategy: "remat"})
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	recs := sink.records(t)
+	if len(recs) != n {
+		t.Fatalf("delivered %d records, want %d", len(recs), n)
+	}
+	for i, r := range recs {
+		if r.Unit != name(i) {
+			t.Fatalf("record %d is %q, want %q (order lost)", i, r.Unit, name(i))
+		}
+		if r.Time == "" {
+			t.Fatalf("record %d has no timestamp", i)
+		}
+	}
+	st := l.Stats()
+	if st.Logged != n || st.Flushed != n || st.Dropped != 0 {
+		t.Fatalf("stats = %+v, want logged=flushed=%d dropped=0", st, n)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !sink.closed.Load() {
+		t.Fatal("Close did not close the sink")
+	}
+}
+
+func name(i int) string { return "unit-" + string(rune('a'+i%26)) + "-" + time.Duration(i).String() }
+
+// TestBackpressureBoundedAndObservable is the stalled-sink contract:
+// while the sink blocks, memory stays bounded (drops begin once buffer
+// + batch are full and are counted on telemetry), and when the sink
+// recovers, flushing resumes and delivers everything that was not
+// dropped. Run under -race in CI.
+func TestBackpressureBoundedAndObservable(t *testing.T) {
+	const buffer, batch = 8, 4
+	sink := &memSink{block: make(chan struct{})}
+	reg := telemetry.NewRegistry()
+	l, err := New(Config{
+		Sink:          sink,
+		BufferSize:    buffer,
+		BatchSize:     batch,
+		FlushInterval: 5 * time.Millisecond,
+		Telemetry:     &telemetry.Sink{Metrics: reg},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stall the sink and pour far more records than the stream can
+	// hold. Producers must never block; the overflow must drop.
+	const producers, perProducer = 4, 200
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				l.Log(Record{Unit: "p", RequestID: "r"})
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	st := l.Stats()
+	total := int64(producers * perProducer)
+	if st.Logged+st.Dropped != total {
+		t.Fatalf("logged %d + dropped %d != %d produced", st.Logged, st.Dropped, total)
+	}
+	if st.Dropped == 0 {
+		t.Fatal("stalled sink never dropped — buffer cannot be bounded")
+	}
+	// Bounded memory: everything accepted fits in buffer + one in-flight
+	// batch (+1 for the record the flusher may hold between channel read
+	// and batch append).
+	if st.Logged > buffer+batch+1 {
+		t.Fatalf("accepted %d records with a stalled sink; bound is %d", st.Logged, buffer+batch+1)
+	}
+	if got := reg.Counter("audit.dropped").Value(); got != st.Dropped {
+		t.Fatalf("telemetry audit.dropped = %d, want %d (loss must be observable)", got, st.Dropped)
+	}
+
+	// Recovery: release the sink; everything accepted must land.
+	close(sink.block)
+	if err := l.Flush(); err != nil {
+		t.Fatalf("Flush after recovery: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if got := l.Stats(); got.Flushed == got.Logged {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("flush never caught up: %+v", l.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := int64(len(sink.records(t))); got != st.Logged {
+		t.Fatalf("sink holds %d records, want %d accepted", got, st.Logged)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFailingSinkRetriesWithoutLoss: a sink that errors (rather than
+// stalls) keeps the batch; once it heals, the same records deliver.
+func TestFailingSinkRetriesWithoutLoss(t *testing.T) {
+	sink := &memSink{}
+	sink.fail.Store(true)
+	reg := telemetry.NewRegistry()
+	l, err := New(Config{
+		Sink: sink, BatchSize: 4, BufferSize: 64,
+		FlushInterval: 2 * time.Millisecond,
+		Telemetry:     &telemetry.Sink{Metrics: reg},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		l.Log(Record{Unit: name(i)})
+	}
+	if err := l.Flush(); err == nil {
+		t.Fatal("Flush over a failing sink reported success")
+	}
+	if reg.Counter("audit.flush_errors").Value() == 0 {
+		t.Fatal("flush errors not counted")
+	}
+	sink.fail.Store(false)
+	if err := l.Flush(); err != nil {
+		t.Fatalf("Flush after heal: %v", err)
+	}
+	if got := len(sink.records(t)); got != 10 {
+		t.Fatalf("delivered %d records after heal, want 10 (no loss on error path)", got)
+	}
+	l.Close()
+}
+
+func TestBlockOnFullIsLossless(t *testing.T) {
+	sink := &memSink{}
+	l, err := New(Config{Sink: sink, BufferSize: 2, BatchSize: 2, BlockOnFull: true, FlushInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		l.Log(Record{Unit: name(i)})
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.Dropped != 0 || st.Flushed != 50 {
+		t.Fatalf("lossless config lost records: %+v", st)
+	}
+	l.Close()
+}
+
+func TestLogAfterCloseDropsVisibly(t *testing.T) {
+	sink := &memSink{}
+	l, err := New(Config{Sink: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Log(Record{Unit: "before"})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l.Log(Record{Unit: "after"})
+	st := l.Stats()
+	if st.Dropped != 1 {
+		t.Fatalf("post-Close Log dropped %d, want 1", st.Dropped)
+	}
+	if got := len(sink.records(t)); got != 1 {
+		t.Fatalf("sink has %d records, want the pre-Close 1", got)
+	}
+}
+
+func TestNilLoggerIsDisabledStream(t *testing.T) {
+	var l *Logger
+	l.Log(Record{Unit: "x"}) // must not panic
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st != (Stats{}) {
+		t.Fatalf("nil logger stats = %+v", st)
+	}
+}
+
+func TestFileSinkRotatesAndPrunes(t *testing.T) {
+	dir := t.TempDir()
+	var nanos atomic.Int64
+	now := func() time.Time { return time.Unix(0, nanos.Add(1)) }
+	sink, err := NewFileSink(dir, FileSinkConfig{MaxBytes: 64, MaxFiles: 2, Now: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := []byte(strings.Repeat("x", 40) + "\n")
+	for i := 0; i < 10; i++ {
+		if err := sink.Upload(line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rotated, _ := filepath.Glob(filepath.Join(dir, "audit-*.ndjson"))
+	if len(rotated) != 2 {
+		t.Fatalf("kept %d rotated files, want 2 (pruned)", len(rotated))
+	}
+	if _, err := os.Stat(filepath.Join(dir, CurrentFile)); err != nil {
+		t.Fatalf("no live file after rotation: %v", err)
+	}
+	// Total retained bytes stay bounded by (MaxFiles+1)*MaxBytes.
+	var total int64
+	for _, f := range append(rotated, filepath.Join(dir, CurrentFile)) {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += st.Size()
+	}
+	if total > 3*64 {
+		t.Fatalf("retained %d bytes, bound is %d", total, 3*64)
+	}
+}
+
+func TestFileSinkThroughLoggerWritesDecodableNDJSON(t *testing.T) {
+	dir := t.TempDir()
+	sink, err := NewFileSink(dir, FileSinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := New(Config{Sink: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Log(Record{Unit: "sumabs", Strategy: "remat", Verified: true, ContentKey: "abc", AllocMs: 1.5})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, CurrentFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r Record
+	if err := json.Unmarshal(bytes.TrimSpace(data), &r); err != nil {
+		t.Fatalf("file line not JSON: %v (%q)", err, data)
+	}
+	if r.Unit != "sumabs" || !r.Verified || r.ContentKey != "abc" {
+		t.Fatalf("round-trip mangled the record: %+v", r)
+	}
+}
+
+func TestHTTPSinkPostsNDJSONAndSurfacesErrors(t *testing.T) {
+	var got atomic.Value
+	status := atomic.Int64{}
+	status.Store(200)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if ct := r.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+			t.Errorf("Content-Type = %q", ct)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(r.Body)
+		got.Store(buf.String())
+		w.WriteHeader(int(status.Load()))
+	}))
+	defer ts.Close()
+
+	sink := NewHTTPSink(ts.URL, nil)
+	if err := sink.Upload([]byte("{\"unit\":\"a\"}\n")); err != nil {
+		t.Fatal(err)
+	}
+	if body, _ := got.Load().(string); !strings.Contains(body, "\"a\"") {
+		t.Fatalf("collector saw %q", body)
+	}
+	status.Store(503)
+	if err := sink.Upload([]byte("{}\n")); err == nil {
+		t.Fatal("503 from the collector did not surface as an upload error")
+	}
+}

@@ -1,0 +1,199 @@
+package audit
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Sink is one delivery target for batched audit records. Upload
+// receives a complete NDJSON payload (one JSON record per line, each
+// newline-terminated); it must be safe for sequential use from the
+// logger's flusher goroutine. An Upload error tells the logger to keep
+// the batch and retry on its next flush opportunity.
+type Sink interface {
+	Upload(ndjson []byte) error
+	Close() error
+}
+
+// encodeNDJSON renders a batch as newline-delimited JSON — the format
+// both sinks speak and every offline consumer (jq, a warehouse loader)
+// reads line by line.
+func encodeNDJSON(batch []Record) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf) // Encode appends the newline
+	for _, r := range batch {
+		if err := enc.Encode(r); err != nil {
+			return nil, fmt.Errorf("audit: encode record: %w", err)
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// FileSink appends NDJSON batches to a current file in a directory and
+// rotates it by size, keeping a bounded set of closed files — the
+// audit stream's durable, disk-bounded form.
+//
+// Layout: dir/audit.ndjson is the live file; a rotation renames it to
+// dir/audit-<unix-nanos>.ndjson and starts fresh. MaxFiles bounds the
+// closed set (oldest deleted first), so total disk use is roughly
+// (MaxFiles + 1) * MaxBytes.
+type FileSink struct {
+	dir      string
+	maxBytes int64
+	maxFiles int
+
+	mu   sync.Mutex
+	f    *os.File
+	size int64
+	now  func() time.Time
+}
+
+// FileSinkConfig configures NewFileSink. Zero values get defaults:
+// 8 MiB per file, 8 rotated files kept.
+type FileSinkConfig struct {
+	MaxBytes int64
+	MaxFiles int
+	// Now feeds rotation names (nil: time.Now). Tests pin it.
+	Now func() time.Time
+}
+
+// CurrentFile is the name of the live audit file within the sink's
+// directory; rotations move it aside as audit-<unix-nanos>.ndjson.
+const CurrentFile = "audit.ndjson"
+
+// NewFileSink opens (creating if needed) the rotating file set in dir.
+func NewFileSink(dir string, cfg FileSinkConfig) (*FileSink, error) {
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = 8 << 20
+	}
+	if cfg.MaxFiles <= 0 {
+		cfg.MaxFiles = 8
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("audit: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, CurrentFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("audit: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("audit: %w", err)
+	}
+	return &FileSink{
+		dir:      dir,
+		maxBytes: cfg.MaxBytes,
+		maxFiles: cfg.MaxFiles,
+		f:        f,
+		size:     st.Size(),
+		now:      cfg.Now,
+	}, nil
+}
+
+// Upload appends one batch, rotating first when the live file would
+// exceed its size bound (a batch is never split across files).
+func (s *FileSink) Upload(ndjson []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.size > 0 && s.size+int64(len(ndjson)) > s.maxBytes {
+		if err := s.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	n, err := s.f.Write(ndjson)
+	s.size += int64(n)
+	if err != nil {
+		return fmt.Errorf("audit: write: %w", err)
+	}
+	return nil
+}
+
+func (s *FileSink) rotateLocked() error {
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("audit: rotate: %w", err)
+	}
+	rotated := filepath.Join(s.dir, fmt.Sprintf("audit-%d.ndjson", s.now().UnixNano()))
+	if err := os.Rename(filepath.Join(s.dir, CurrentFile), rotated); err != nil {
+		return fmt.Errorf("audit: rotate: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(s.dir, CurrentFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("audit: rotate: %w", err)
+	}
+	s.f, s.size = f, 0
+	s.pruneLocked()
+	return nil
+}
+
+// pruneLocked deletes the oldest rotated files beyond the bound. Best
+// effort: pruning failures never fail an upload.
+func (s *FileSink) pruneLocked() {
+	rotated, err := filepath.Glob(filepath.Join(s.dir, "audit-*.ndjson"))
+	if err != nil || len(rotated) <= s.maxFiles {
+		return
+	}
+	sort.Strings(rotated) // names embed nanos, so lexical order is age order
+	for _, old := range rotated[:len(rotated)-s.maxFiles] {
+		os.Remove(old)
+	}
+}
+
+// Close syncs and closes the live file.
+func (s *FileSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return fmt.Errorf("audit: %w", err)
+	}
+	return s.f.Close()
+}
+
+// HTTPSink POSTs each batch to an upload endpoint as
+// application/x-ndjson — the push form of the stream, for shipping
+// verdicts to a collector instead of local disk. Any non-2xx answer is
+// an upload failure (the logger retries the batch on its next flush).
+type HTTPSink struct {
+	url    string
+	client *http.Client
+}
+
+// NewHTTPSink builds a sink posting to url. A nil client gets a
+// dedicated one with a 10s timeout, so a black-holed collector stalls
+// the flusher (and starts dropping records) instead of hanging a
+// request forever.
+func NewHTTPSink(url string, client *http.Client) *HTTPSink {
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &HTTPSink{url: url, client: client}
+}
+
+// Upload POSTs one NDJSON batch.
+func (s *HTTPSink) Upload(ndjson []byte) error {
+	resp, err := s.client.Post(s.url, "application/x-ndjson", bytes.NewReader(ndjson))
+	if err != nil {
+		return fmt.Errorf("audit: upload: %w", err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("audit: upload: collector answered %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// Close is a no-op; the sink owns no connection state worth flushing.
+func (s *HTTPSink) Close() error { return nil }

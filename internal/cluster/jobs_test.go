@@ -1,0 +1,297 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/server"
+)
+
+// jobBody builds an n-unit batch whose unit keys spread across the
+// ring (so the job-level combined key genuinely exercises whole-batch
+// routing).
+func jobBody(n int) server.BatchRequest {
+	req := server.BatchRequest{Units: make([]server.BatchUnit, n)}
+	for i := range req.Units {
+		req.Units[i] = server.BatchUnit{Name: fmt.Sprintf("u%02d", i), ILOC: unitSource(i)}
+	}
+	return req
+}
+
+func decodeJobResp(t *testing.T, body []byte) server.JobResponse {
+	t.Helper()
+	var jr server.JobResponse
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatalf("bad job body: %v\n%s", err, body)
+	}
+	return jr
+}
+
+// pollProxyJob polls the job through the proxy until terminal.
+func pollProxyJob(t *testing.T, front, id string) server.JobResponse {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(front + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("proxy poll = %d\n%s", resp.StatusCode, buf.String())
+		}
+		jr := decodeJobResp(t, buf.Bytes())
+		if jr.State == "done" || jr.State == "canceled" {
+			return jr
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, jr.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// streamProxyResults reads the NDJSON result stream through the proxy.
+func streamProxyResults(t *testing.T, front, id string) []server.UnitResponse {
+	t.Helper()
+	resp, err := http.Get(front + "/v1/jobs/" + id + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("proxy results = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type through proxy = %q", ct)
+	}
+	var out []server.UnitResponse
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var u server.UnitResponse
+		if err := json.Unmarshal(sc.Bytes(), &u); err != nil {
+			t.Fatalf("bad NDJSON line through proxy: %v\n%s", err, sc.Text())
+		}
+		out = append(out, u)
+	}
+	return out
+}
+
+// TestProxyJobEndToEnd: submit through the proxy, poll and stream
+// through the proxy, and get code bytes identical to a synchronous
+// /v1/batch of the same body through the same proxy.
+func TestProxyJobEndToEnd(t *testing.T) {
+	c := newTestCluster(t, 3, nil)
+	body := jobBody(6)
+
+	status, _, syncRaw := postJSON(t, c.front.URL+"/v1/batch", body, nil)
+	if status != http.StatusOK {
+		t.Fatalf("sync batch = %d\n%s", status, syncRaw)
+	}
+	sync := decodeResponse(t, syncRaw)
+
+	status, hdr, raw := postJSON(t, c.front.URL+"/v1/jobs", body, nil)
+	if status != http.StatusOK {
+		t.Fatalf("submit = %d\n%s", status, raw)
+	}
+	jr := decodeJobResp(t, raw)
+	if jr.JobID == "" || jr.Units != 6 {
+		t.Fatalf("submit response %+v", jr)
+	}
+	// The proxy relays the owning backend's identity.
+	if hdr.Get(server.BackendHeader) == "" || jr.Backend == "" {
+		t.Fatalf("no backend attribution: header %q, body %q", hdr.Get(server.BackendHeader), jr.Backend)
+	}
+	// The proxy learned the route at submit time.
+	if owner := c.proxy.jobBackend(jr.JobID); owner == "" {
+		t.Fatal("proxy did not remember the job's owner")
+	}
+
+	final := pollProxyJob(t, c.front.URL, jr.JobID)
+	if final.State != "done" || final.Completed != 6 || final.Failed != 0 {
+		t.Fatalf("final %+v", final)
+	}
+	// All of a job's units ran on its one owning backend.
+	if final.Backend != jr.Backend {
+		t.Fatalf("job moved backends: %q then %q", jr.Backend, final.Backend)
+	}
+
+	units := streamProxyResults(t, c.front.URL, jr.JobID)
+	if len(units) != 6 {
+		t.Fatalf("streamed %d units, want 6", len(units))
+	}
+	for i, u := range units {
+		if u.Code == "" || u.Code != sync.Results[i].Code {
+			t.Fatalf("unit %d code differs between async (via proxy) and sync:\n%q\nvs\n%q", i, u.Code, sync.Results[i].Code)
+		}
+		if u.Backend != jr.Backend {
+			t.Fatalf("unit %d ran on %q, job owner is %q", i, u.Backend, jr.Backend)
+		}
+	}
+
+	// Affinity: the identical body routes to the same backend again.
+	status, _, raw = postJSON(t, c.front.URL+"/v1/jobs", body, nil)
+	if status != http.StatusOK {
+		t.Fatalf("resubmit = %d", status)
+	}
+	if again := decodeJobResp(t, raw); again.Backend != jr.Backend {
+		t.Fatalf("identical body routed to %q, first went to %q", again.Backend, jr.Backend)
+	}
+}
+
+// TestProxyJobBroadcastOnRouteMiss: a proxy with no route for a live
+// job (restart, or a peer proxy accepted it) finds the owner by
+// broadcast; an ID no backend claims is a clean 404.
+func TestProxyJobBroadcastOnRouteMiss(t *testing.T) {
+	c := newTestCluster(t, 3, nil)
+	status, _, raw := postJSON(t, c.front.URL+"/v1/jobs", jobBody(3), nil)
+	if status != http.StatusOK {
+		t.Fatalf("submit = %d", status)
+	}
+	jr := decodeJobResp(t, raw)
+	pollProxyJob(t, c.front.URL, jr.JobID)
+
+	// Forget the route — the proxy must rediscover it.
+	c.proxy.jobMu.Lock()
+	c.proxy.jobOwner = make(map[string]string)
+	c.proxy.jobFIFO = nil
+	c.proxy.jobMu.Unlock()
+
+	final := pollProxyJob(t, c.front.URL, jr.JobID)
+	if final.State != "done" {
+		t.Fatalf("rediscovered job state %s", final.State)
+	}
+	if owner := c.proxy.jobBackend(jr.JobID); owner == "" {
+		t.Fatal("broadcast did not re-learn the owner")
+	}
+	if units := streamProxyResults(t, c.front.URL, jr.JobID); len(units) != 3 {
+		t.Fatalf("results after rediscovery: %d units", len(units))
+	}
+
+	resp, err := http.Get(c.front.URL + "/v1/jobs/job-999999-cafebabe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unclaimed job = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestProxyJobCancelRelays: DELETE through the proxy reaches the
+// owning backend.
+func TestProxyJobCancelRelays(t *testing.T) {
+	c := newTestCluster(t, 2, nil)
+	status, _, raw := postJSON(t, c.front.URL+"/v1/jobs", jobBody(4), nil)
+	if status != http.StatusOK {
+		t.Fatalf("submit = %d", status)
+	}
+	jr := decodeJobResp(t, raw)
+
+	req, _ := http.NewRequest(http.MethodDelete, c.front.URL+"/v1/jobs/"+jr.JobID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel through proxy = %d\n%s", resp.StatusCode, buf.String())
+	}
+	final := pollProxyJob(t, c.front.URL, jr.JobID)
+	if final.State != "done" && final.State != "canceled" {
+		t.Fatalf("state after cancel = %s", final.State)
+	}
+}
+
+// proxyCollectSink gathers audit uploads for the aggregation test.
+type proxyCollectSink struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *proxyCollectSink) Upload(b []byte) error {
+	s.mu.Lock()
+	s.n += bytes.Count(b, []byte("\n"))
+	s.mu.Unlock()
+	return nil
+}
+func (s *proxyCollectSink) Close() error { return nil }
+
+// TestProxyAuditAggregation: GET /v1/audit through the proxy sums the
+// delivery counters of every backend with an audit stream.
+func TestProxyAuditAggregation(t *testing.T) {
+	sinks := make([]*proxyCollectSink, 2)
+	urls := make([]string, 2)
+	for i := range urls {
+		sinks[i] = &proxyCollectSink{}
+		logger, err := audit.New(audit.Config{Sink: sinks[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { logger.Close() })
+		srv := server.New(server.Config{InstanceID: fmt.Sprintf("a%d", i+1), Audit: logger})
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+	p, err := New(Config{Backends: urls, ProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	front := httptest.NewServer(p.Handler())
+	t.Cleanup(front.Close)
+
+	// Drive enough distinct units through the proxy that both backends
+	// produce verdicts.
+	status, _, raw := postJSON(t, front.URL+"/v1/batch", jobBody(8), nil)
+	if status != http.StatusOK {
+		t.Fatalf("batch = %d\n%s", status, raw)
+	}
+
+	resp, err := http.Get(front.URL + "/v1/audit?flush=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st server.AuditStatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !st.Enabled {
+		t.Fatalf("aggregated audit = %d %+v", resp.StatusCode, st)
+	}
+	if st.Logged != 8 || st.Flushed != 8 || st.Dropped != 0 {
+		t.Fatalf("aggregated stats %+v, want 8 logged+flushed across the cluster", st)
+	}
+	if got := resp.Header.Get("X-Ralloc-Audit-Backends"); got != "2" {
+		t.Fatalf("X-Ralloc-Audit-Backends = %q, want 2", got)
+	}
+}
+
+// TestProxyAuditWithoutStreams404s: a cluster whose backends have no
+// audit stream answers 404, same as a single backend would.
+func TestProxyAuditWithoutStreams404s(t *testing.T) {
+	c := newTestCluster(t, 2, nil)
+	resp, err := http.Get(c.front.URL + "/v1/audit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/v1/audit = %d, want 404", resp.StatusCode)
+	}
+}

@@ -174,6 +174,12 @@ type Proxy struct {
 	ready  atomic.Bool
 	reqSeq atomic.Int64
 
+	// jobOwner maps a job ID to the backend that accepted it (bounded
+	// FIFO; see jobs.go).
+	jobMu    sync.Mutex
+	jobOwner map[string]string
+	jobFIFO  []string
+
 	stopOnce sync.Once
 	stop     chan struct{}
 	wg       sync.WaitGroup
@@ -190,6 +196,7 @@ func New(cfg Config) (*Proxy, error) {
 		backends: make(map[string]*Backend),
 		client:   &http.Client{Transport: cfg.Transport},
 		stop:     make(chan struct{}),
+		jobOwner: make(map[string]string),
 	}
 	var ids []string
 	for _, raw := range cfg.Backends {
@@ -220,6 +227,11 @@ func New(cfg Config) (*Proxy, error) {
 	p.mux = http.NewServeMux()
 	p.mux.HandleFunc("/v1/allocate", p.handleAllocate)
 	p.mux.HandleFunc("/v1/batch", p.handleBatch)
+	p.mux.HandleFunc("POST /v1/jobs", p.handleJobSubmit)
+	p.mux.HandleFunc("GET /v1/jobs/{id}", p.handleJobForward)
+	p.mux.HandleFunc("GET /v1/jobs/{id}/results", p.handleJobForward)
+	p.mux.HandleFunc("DELETE /v1/jobs/{id}", p.handleJobForward)
+	p.mux.HandleFunc("/v1/audit", p.handleAudit)
 	p.mux.HandleFunc("/v1/strategies", p.handleForwardGET)
 	p.mux.HandleFunc("/v1/cluster", p.handleCluster)
 	p.mux.HandleFunc("/healthz", p.handleHealthz)

@@ -58,6 +58,15 @@ type Config struct {
 	// the caller's), and the sink is threaded into every unit's
 	// core.Options so allocator pass spans nest under the unit span.
 	Telemetry *telemetry.Sink
+	// OnUnitDone, when non-nil, is called from the worker goroutine the
+	// moment unit i's result is recorded — before the batch as a whole
+	// finishes. This is how the async job API streams partial progress
+	// and how per-verdict audit records are emitted without waiting for
+	// the slowest unit. Calls arrive concurrently from different
+	// workers (each index exactly once); the callback must be safe for
+	// concurrent use and should return quickly — it runs on the
+	// allocation worker.
+	OnUnitDone func(i int, r UnitResult)
 }
 
 // UnitResult is the outcome of one unit. Exactly one of Result and Err
@@ -244,6 +253,9 @@ func (e *Engine) Run(ctx context.Context, units []Unit) *Batch {
 					// not a skip — the unit still runs so the allocator
 					// can return its spill-everywhere degradation.
 					b.Results[i] = UnitResult{Name: units[i].Name, Err: cerr, Worker: worker}
+					if e.cfg.OnUnitDone != nil {
+						e.cfg.OnUnitDone(i, b.Results[i])
+					}
 					continue
 				}
 				wsink.Observe("driver.queue.wait", time.Since(start).Nanoseconds())
@@ -270,6 +282,9 @@ func (e *Engine) Run(ctx context.Context, units []Unit) *Batch {
 					CacheTier: tier,
 					Worker:    worker,
 					Wall:      wall,
+				}
+				if e.cfg.OnUnitDone != nil {
+					e.cfg.OnUnitDone(i, b.Results[i])
 				}
 			}
 		}(w)

@@ -200,10 +200,52 @@ type StrategiesResponse struct {
 	Strategies []StrategyInfo `json:"strategies"`
 }
 
+// JobResponse is the body of POST /v1/jobs (the accept answer),
+// GET /v1/jobs/{id} (status + partial progress) and DELETE (the
+// post-cancel state). Counters advance while the job runs, so a
+// poller sees progress before the state turns terminal.
+type JobResponse struct {
+	JobID string `json:"job_id"`
+	// RequestID is the submitting request's ID (audit records for this
+	// job's units carry both).
+	RequestID string `json:"request_id,omitempty"`
+	// State is "queued", "running", "done" or "canceled".
+	State     string `json:"state"`
+	Units     int    `json:"units"`
+	Completed int    `json:"completed"`
+	Failed    int    `json:"failed"`
+	Degraded  int    `json:"degraded"`
+	CacheHits int    `json:"cache_hits"`
+	// Backend names the rallocd instance that owns the job; polls and
+	// result streams must reach this same instance (the routing proxy
+	// does that by job ID).
+	Backend    string `json:"backend,omitempty"`
+	CreatedAt  string `json:"created_at,omitempty"`
+	StartedAt  string `json:"started_at,omitempty"`
+	FinishedAt string `json:"finished_at,omitempty"`
+}
+
+// AuditStatsResponse is the 200 body of GET /v1/audit: the audit
+// stream's delivery counters. Dropped > 0 means the stream shed
+// records under backpressure (the lossy-by-config default).
+type AuditStatsResponse struct {
+	Enabled     bool   `json:"enabled"`
+	Logged      int64  `json:"logged"`
+	Dropped     int64  `json:"dropped"`
+	Flushed     int64  `json:"flushed"`
+	Flushes     int64  `json:"flushes"`
+	FlushErrors int64  `json:"flush_errors"`
+	FlushError  string `json:"flush_error,omitempty"`
+}
+
 // ErrorResponse is the body of every non-200 the service produces.
 type ErrorResponse struct {
 	Error     string `json:"error"`
 	RequestID string `json:"request_id,omitempty"`
+	// Code machine-classifies errors that clients dispatch on;
+	// "job_expired" marks the 410 for a job reaped by retention, so a
+	// slow poller can tell expiry from a wrong ID (404).
+	Code string `json:"code,omitempty"`
 	// RetryAfterSec accompanies 429: how long to back off before
 	// retrying (mirrors the Retry-After header).
 	RetryAfterSec int `json:"retry_after_sec,omitempty"`

@@ -78,31 +78,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, info *reque
 		writeError(w, http.StatusBadRequest, ErrorResponse{Error: "empty batch", RequestID: info.id})
 		return
 	}
-	def, err := req.Options.Resolve(s.cfg.Options)
+	units, verify, err := s.buildBatchUnits(req)
 	if err != nil {
 		optionsError(w, info, err)
 		return
-	}
-	units := make([]driver.Unit, len(req.Units))
-	verify := make([]bool, len(req.Units))
-	for i, bu := range req.Units {
-		opts, err := bu.Options.Resolve(def)
-		if err != nil {
-			optionsError(w, info, fmt.Errorf("unit %d: %w", i, err))
-			return
-		}
-		rt, err := iloc.Parse(bu.ILOC)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("unit %d: parse: %v", i, err), RequestID: info.id})
-			return
-		}
-		name := bu.Name
-		if name == "" {
-			name = rt.Name
-		}
-		o := opts
-		units[i] = driver.Unit{Name: name, Routine: rt, Options: &o}
-		verify[i] = o.Verify
 	}
 	s.serve(w, r, info, units, verify)
 }
@@ -121,16 +100,7 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, info *requestInfo
 
 	release, err := s.admit(r.Context().Done())
 	if err != nil {
-		sec := int(s.cfg.RetryAfter / time.Second)
-		if sec < 1 {
-			sec = 1
-		}
-		w.Header().Set("Retry-After", fmt.Sprintf("%d", sec))
-		writeError(w, http.StatusTooManyRequests, ErrorResponse{
-			Error:         "server saturated, retry later",
-			RequestID:     info.id,
-			RetryAfterSec: sec,
-		})
+		s.shed(w, info, "server saturated, retry later")
 		return
 	}
 	defer release()
@@ -168,27 +138,12 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, info *requestInfo
 		},
 	}
 	for i, ur := range batch.Results {
-		u := UnitResponse{
-			Name:      ur.Name,
-			Backend:   s.cfg.InstanceID,
-			CacheHit:  ur.CacheHit,
-			CacheTier: ur.CacheTier,
-			AllocMs:   float64(ur.Wall) / float64(time.Millisecond),
+		resp.Results[i] = s.unitResponse(ur, verify[i])
+	}
+	if s.cfg.Audit != nil {
+		for i, ur := range batch.Results {
+			s.auditUnit(info.id, "", units[i], ur, verify[i])
 		}
-		switch {
-		case ur.Err != nil:
-			u.Error = ur.Err.Error()
-		case ur.Result != nil:
-			u.Code = iloc.Print(ur.Result.Routine)
-			u.Verified = verify[i]
-			u.Degraded = ur.Result.Degraded
-			u.DegradeReason = ur.Result.DegradeReason
-			u.Iterations = len(ur.Result.Iterations)
-			u.Spilled = ur.Result.SpilledRanges
-			u.Remat = ur.Result.RematSpills
-			u.FrameWords = ur.Result.Routine.FrameWords
-		}
-		resp.Results[i] = u
 	}
 	tel := s.cfg.Telemetry
 	tel.Count("server.units", int64(batch.Stats.Routines))
@@ -196,6 +151,33 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, info *requestInfo
 		tel.Count("server.degraded", int64(batch.Stats.Degraded))
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// unitResponse shapes one driver result as the wire's UnitResponse —
+// the element of the sync endpoints' results array and the line of the
+// async results stream, so the two paths are byte-identical per unit.
+func (s *Server) unitResponse(ur driver.UnitResult, verified bool) UnitResponse {
+	u := UnitResponse{
+		Name:      ur.Name,
+		Backend:   s.cfg.InstanceID,
+		CacheHit:  ur.CacheHit,
+		CacheTier: ur.CacheTier,
+		AllocMs:   float64(ur.Wall) / float64(time.Millisecond),
+	}
+	switch {
+	case ur.Err != nil:
+		u.Error = ur.Err.Error()
+	case ur.Result != nil:
+		u.Code = iloc.Print(ur.Result.Routine)
+		u.Verified = verified
+		u.Degraded = ur.Result.Degraded
+		u.DegradeReason = ur.Result.DegradeReason
+		u.Iterations = len(ur.Result.Iterations)
+		u.Spilled = ur.Result.SpilledRanges
+		u.Remat = ur.Result.RematSpills
+		u.FrameWords = ur.Result.Routine.FrameWords
+	}
+	return u
 }
 
 // handleStrategies serves GET /v1/strategies: the registered allocation
@@ -241,6 +223,15 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // instrumenting the cache hot path.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.publishCacheMetrics()
+	js := s.jobs.Stats()
+	reg := s.cfg.Telemetry.Metrics
+	reg.Gauge("jobs.active").Set(int64(js.Active))
+	reg.Gauge("jobs.retained").Set(int64(js.Retained))
+	if log := s.cfg.Audit; log != nil {
+		as := log.Stats()
+		reg.Gauge("audit.logged").Set(as.Logged)
+		reg.Gauge("audit.flushed").Set(as.Flushed)
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	_, _ = s.cfg.Telemetry.Metrics.WriteTo(w)
 }

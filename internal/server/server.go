@@ -43,8 +43,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/driver"
+	"repro/internal/jobs"
 	"repro/internal/store"
 	"repro/internal/target"
 	"repro/internal/telemetry"
@@ -89,6 +91,18 @@ type Config struct {
 	MaxBodyBytes int64
 	// RetryAfter is the backoff hint sent with 429 (0: 1s).
 	RetryAfter time.Duration
+	// Audit, when non-nil, receives one record per allocation verdict —
+	// sync and async paths alike. The server never closes it; the
+	// daemon that built the logger flushes and closes it on shutdown.
+	Audit *audit.Logger
+	// MaxJobs bounds queued+running async jobs; a POST /v1/jobs beyond
+	// it sheds with 429 (0: 64).
+	MaxJobs int
+	// JobRetention is how long a finished job's results stay pollable
+	// (0: 15m); MaxRetainedJobs bounds finished jobs kept regardless of
+	// age (0: 256).
+	JobRetention    time.Duration
+	MaxRetainedJobs int
 	// Telemetry receives request spans, admission metrics and the
 	// allocator/driver instrumentation. A nil sink gets a fresh metrics
 	// registry (no tracer) so /metrics always serves.
@@ -140,6 +154,15 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 64
+	}
+	if c.JobRetention <= 0 {
+		c.JobRetention = 15 * time.Minute
+	}
+	if c.MaxRetainedJobs <= 0 {
+		c.MaxRetainedJobs = 256
+	}
 	if c.Store != nil {
 		c.Cache = c.Store
 	} else if c.Cache == nil {
@@ -162,6 +185,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg    Config
 	engine *driver.Engine
+	jobs   *jobs.Manager
 	mux    *http.ServeMux
 
 	// Admission: a request first takes a queue token (shed on failure),
@@ -190,9 +214,27 @@ func New(cfg Config) *Server {
 	}
 	s.ready.Store(true)
 
+	// The async job manager runs batches through a per-job engine over
+	// the same cache, drawing run slots from the same admission pool as
+	// the sync paths (jobGate), with audit emission per unit verdict.
+	s.jobs, _ = jobs.NewManager(jobs.Config{
+		Run:         s.runJobUnits,
+		Gate:        s.jobGate,
+		MaxActive:   cfg.MaxJobs,
+		Retention:   cfg.JobRetention,
+		MaxRetained: cfg.MaxRetainedJobs,
+		OnUnitDone:  s.auditJobUnit,
+		Telemetry:   cfg.Telemetry,
+	})
+
 	s.mux = http.NewServeMux()
 	s.mux.Handle("/v1/allocate", s.instrument("/v1/allocate", s.handleAllocate))
 	s.mux.Handle("/v1/batch", s.instrument("/v1/batch", s.handleBatch))
+	s.mux.Handle("POST /v1/jobs", s.instrument("/v1/jobs", s.handleJobSubmit))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleJobResults)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("/v1/audit", s.handleAudit)
 	s.mux.HandleFunc("/v1/strategies", s.handleStrategies)
 	s.mux.HandleFunc("/v1/cache/bundle", s.handleBundle)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -252,6 +294,15 @@ func (s *Server) InstanceID() string { return s.cfg.InstanceID }
 // what a drain is waiting on, and what gets abandoned when the drain
 // deadline fires.
 func (s *Server) InFlight() int64 { return s.inflight.Load() }
+
+// Jobs returns the async job manager behind /v1/jobs.
+func (s *Server) Jobs() *jobs.Manager { return s.jobs }
+
+// Close cancels every live async job and waits for their runners — the
+// server's half of a drain. Finished jobs stay pollable until the
+// listener itself goes away; the audit logger (owned by the daemon) is
+// closed after this returns, so the last verdicts still land.
+func (s *Server) Close() { s.jobs.Close() }
 
 // Metrics returns the telemetry registry backing /metrics.
 func (s *Server) Metrics() *telemetry.Registry { return s.cfg.Telemetry.Metrics }

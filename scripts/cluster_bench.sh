@@ -1,0 +1,74 @@
+#!/bin/sh
+# Cluster serving benchmark (make bench-cluster): three rallocd
+# backends behind rallocproxy, driven closed-loop through the proxy by
+# rallocload in two phases — cold (caches empty) then warm (the
+# workload's ring owner serves from cache). The snapshot goes to
+# BENCH_cluster.json (first argument overrides the path); cmd/benchdiff
+# gates its warm throughput and p99 against the committed
+# BENCH_cluster_baseline.json.
+set -eu
+
+cd "$(dirname "$0")/.."
+out=${1:-BENCH_cluster.json}
+tmp=$(mktemp -d)
+pid1="" pid2="" pid3="" proxypid=""
+cleanup() {
+    for p in "$pid1" "$pid2" "$pid3" "$proxypid"; do
+        [ -n "$p" ] && kill "$p" 2>/dev/null || true
+    done
+    if [ -n "${SMOKE_LOG_DIR:-}" ]; then
+        mkdir -p "$SMOKE_LOG_DIR/cluster-bench"
+        cp "$tmp"/*.log "$SMOKE_LOG_DIR/cluster-bench/" 2>/dev/null || true
+    fi
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/rallocd" ./cmd/rallocd
+go build -o "$tmp/rallocproxy" ./cmd/rallocproxy
+go build -o "$tmp/rallocload" ./cmd/rallocload
+
+start_backend() { # $1 = instance name
+    "$tmp/rallocd" -addr 127.0.0.1:0 -addr-file "$tmp/$1.addr" -instance-id "$1" \
+        -drain-timeout 10s 2>>"$tmp/$1.log" &
+}
+
+await_file() { # $1 = path
+    i=0
+    while [ ! -s "$1" ] && [ $i -lt 100 ]; do
+        i=$((i + 1))
+        sleep 0.1
+    done
+    if [ ! -s "$1" ]; then
+        echo "cluster_bench: $1 never appeared" >&2
+        cat "$tmp"/*.log >&2 || true
+        exit 1
+    fi
+}
+
+start_backend b1; pid1=$!
+start_backend b2; pid2=$!
+start_backend b3; pid3=$!
+await_file "$tmp/b1.addr"; a1=$(cat "$tmp/b1.addr")
+await_file "$tmp/b2.addr"; a2=$(cat "$tmp/b2.addr")
+await_file "$tmp/b3.addr"; a3=$(cat "$tmp/b3.addr")
+
+"$tmp/rallocproxy" -addr 127.0.0.1:0 -addr-file "$tmp/proxy.addr" \
+    -backends "http://$a1,http://$a2,http://$a3" \
+    -probe-interval 100ms -drain-timeout 10s 2>"$tmp/proxy.log" &
+proxypid=$!
+await_file "$tmp/proxy.addr"
+paddr=$(cat "$tmp/proxy.addr")
+
+"$tmp/rallocload" -url "http://$paddr" -input testdata/sumabs.iloc \
+    -wait-ready 10s -phases cold,warm -c 4 -duration 3s \
+    -expect-verified -retry-429 5 -out "$out"
+
+kill -TERM "$proxypid"
+wait "$proxypid"
+proxypid=""
+for p in "$pid1" "$pid2" "$pid3"; do
+    kill -TERM "$p"
+    wait "$p"
+done
+pid1="" pid2="" pid3=""

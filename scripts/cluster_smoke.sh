@@ -18,6 +18,10 @@ cleanup() {
     for p in "$pid1" "$pid2" "$pid3" "$proxypid"; do
         [ -n "$p" ] && kill "$p" 2>/dev/null || true
     done
+    if [ -n "${SMOKE_LOG_DIR:-}" ]; then
+        mkdir -p "$SMOKE_LOG_DIR/cluster"
+        cp "$tmp"/*.log "$tmp"/*.json "$tmp"/*.stderr "$SMOKE_LOG_DIR/cluster/" 2>/dev/null || true
+    fi
     rm -rf "$tmp"
 }
 trap cleanup EXIT

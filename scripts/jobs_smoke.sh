@@ -1,0 +1,139 @@
+#!/bin/sh
+# Async-job smoke test (make smoke-jobs): three rallocd backends — each
+# with an audit stream writing NDJSON to disk — behind rallocproxy.
+# First a synchronous run through the proxy captures the allocated code
+# bytes; then rallocload -jobs drives the full async lifecycle (submit
+# POST /v1/jobs through the proxy, poll, stream NDJSON results) and its
+# code bytes must compare equal — the async path is byte-identical to
+# the sync path, through routing. The run then requires the cluster's
+# aggregated audit stream (GET /v1/audit?flush=1 via the proxy) to have
+# logged verdicts with zero drops and everything flushed, and after the
+# clean drain the backends' audit files must hold records attributed to
+# job IDs. rallocload is the only HTTP client, so the test needs
+# nothing outside the repo and the go toolchain.
+set -eu
+
+cd "$(dirname "$0")/.."
+tmp=$(mktemp -d)
+pid1="" pid2="" pid3="" proxypid=""
+cleanup() {
+    for p in "$pid1" "$pid2" "$pid3" "$proxypid"; do
+        [ -n "$p" ] && kill "$p" 2>/dev/null || true
+    done
+    if [ -n "${SMOKE_LOG_DIR:-}" ]; then
+        mkdir -p "$SMOKE_LOG_DIR/jobs"
+        cp "$tmp"/*.log "$tmp"/*.json "$SMOKE_LOG_DIR/jobs/" 2>/dev/null || true
+    fi
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/rallocd" ./cmd/rallocd
+go build -o "$tmp/rallocproxy" ./cmd/rallocproxy
+go build -o "$tmp/rallocload" ./cmd/rallocload
+
+start_backend() { # $1 = instance name
+    mkdir -p "$tmp/audit-$1"
+    "$tmp/rallocd" -addr 127.0.0.1:0 -addr-file "$tmp/$1.addr" -instance-id "$1" \
+        -audit-dir "$tmp/audit-$1" -audit-flush 100ms \
+        -drain-timeout 10s 2>>"$tmp/$1.log" &
+}
+
+await_file() { # $1 = path
+    i=0
+    while [ ! -s "$1" ] && [ $i -lt 100 ]; do
+        i=$((i + 1))
+        sleep 0.1
+    done
+    if [ ! -s "$1" ]; then
+        echo "jobs_smoke: $1 never appeared" >&2
+        cat "$tmp"/*.log >&2 || true
+        exit 1
+    fi
+}
+
+start_backend b1; pid1=$!
+start_backend b2; pid2=$!
+start_backend b3; pid3=$!
+await_file "$tmp/b1.addr"; a1=$(cat "$tmp/b1.addr")
+await_file "$tmp/b2.addr"; a2=$(cat "$tmp/b2.addr")
+await_file "$tmp/b3.addr"; a3=$(cat "$tmp/b3.addr")
+
+"$tmp/rallocproxy" -addr 127.0.0.1:0 -addr-file "$tmp/proxy.addr" \
+    -backends "http://$a1,http://$a2,http://$a3" \
+    -probe-interval 100ms -drain-timeout 10s 2>"$tmp/proxy.log" &
+proxypid=$!
+await_file "$tmp/proxy.addr"
+paddr=$(cat "$tmp/proxy.addr")
+
+# Reference bytes: the synchronous path through the proxy.
+"$tmp/rallocload" -url "http://$paddr" -input testdata/sumabs.iloc \
+    -wait-ready 10s -requests 3 -c 1 -expect-verified -retry-429 3 \
+    -code-out "$tmp/sync.code" -out "$tmp/jobs_sync.json"
+
+# The async lifecycle through the proxy: submit, poll, stream. The same
+# input must produce the same code bytes, and the cluster-wide audit
+# stream must come back lossless.
+"$tmp/rallocload" -url "http://$paddr" -input testdata/sumabs.iloc \
+    -jobs -requests 6 -c 2 -expect-verified -retry-429 3 \
+    -code-out "$tmp/async.code" -require-audit-clean -out "$tmp/jobs_async.json"
+
+if ! cmp -s "$tmp/sync.code" "$tmp/async.code"; then
+    echo "jobs_smoke: async job code differs from sync batch code" >&2
+    exit 1
+fi
+
+# The async report must attest jobs mode ran with no retention expiries.
+grep -q '"jobs_mode": true' "$tmp/jobs_async.json" || {
+    echo "jobs_smoke: report does not attest jobs mode:" >&2
+    cat "$tmp/jobs_async.json" >&2
+    exit 1
+}
+if grep -q '"jobs_expired"' "$tmp/jobs_async.json"; then
+    echo "jobs_smoke: jobs expired under default retention:" >&2
+    cat "$tmp/jobs_async.json" >&2
+    exit 1
+fi
+
+# Clean cluster drain (closing each daemon flushes its audit file).
+kill -TERM "$proxypid"
+if ! wait "$proxypid"; then
+    echo "jobs_smoke: rallocproxy exited nonzero on SIGTERM" >&2
+    cat "$tmp/proxy.log" >&2
+    exit 1
+fi
+proxypid=""
+for name in b1 b2 b3; do
+    case "$name" in
+    b1) p=$pid1 ;;
+    b2) p=$pid2 ;;
+    b3) p=$pid3 ;;
+    esac
+    kill -TERM "$p"
+    if ! wait "$p"; then
+        echo "jobs_smoke: $name exited nonzero on SIGTERM" >&2
+        cat "$tmp/$name.log" >&2
+        exit 1
+    fi
+    case "$name" in
+    b1) pid1="" ;;
+    b2) pid2="" ;;
+    b3) pid3="" ;;
+    esac
+done
+
+# The drained audit files must hold the job verdicts: at least one
+# record attributed to a job ID, and every record a well-formed NDJSON
+# line carrying a content key.
+jobrecs=$(cat "$tmp"/audit-*/audit.ndjson 2>/dev/null | grep -c '"job_id":"job-' || true)
+if [ "${jobrecs:-0}" -lt 1 ]; then
+    echo "jobs_smoke: no audit record attributes a job verdict:" >&2
+    head "$tmp"/audit-*/audit.ndjson >&2 || true
+    exit 1
+fi
+badrecs=$(cat "$tmp"/audit-*/audit.ndjson | grep -vc '"content_key"' || true)
+if [ "${badrecs:-0}" -ne 0 ]; then
+    echo "jobs_smoke: $badrecs audit record(s) lack a content key" >&2
+    exit 1
+fi
+echo "jobs_smoke: ok (async == sync bytes through the proxy, audit lossless, $jobrecs job verdict(s) on disk)"

@@ -26,7 +26,15 @@ set -eu
 cd "$(dirname "$0")/.."
 tmp=$(mktemp -d)
 pid=""
-trap '[ -n "$pid" ] && kill "$pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    if [ -n "${SMOKE_LOG_DIR:-}" ]; then
+        mkdir -p "$SMOKE_LOG_DIR/store"
+        cp "$tmp"/*.log "$tmp"/*.json "$SMOKE_LOG_DIR/store/" 2>/dev/null || true
+    fi
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
 
 go build -o "$tmp/rallocd" ./cmd/rallocd
 go build -o "$tmp/rallocload" ./cmd/rallocload
