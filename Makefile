@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check ci fmt vet build test race verify fuzz smoke-server smoke-store smoke-cluster smoke-jobs smoke-strategies bench bench-server bench-cluster benchdiff benchdiff-soft
+.PHONY: check ci fmt vet build test race verify fuzz smoke-server smoke-store smoke-cluster smoke-jobs smoke-strategies smoke-corpus bench bench-server bench-cluster benchdiff benchdiff-soft
 
-check: fmt vet build test race verify fuzz smoke-strategies smoke-server smoke-store smoke-cluster smoke-jobs
+check: fmt vet build test race verify fuzz smoke-strategies smoke-server smoke-store smoke-cluster smoke-jobs smoke-corpus
 
 # ci runs exactly what .github/workflows/ci.yml runs, in the same
 # order: the gates, the fuzz smoke, the strategy-matrix smoke, the
@@ -15,7 +15,7 @@ check: fmt vet build test race verify fuzz smoke-strategies smoke-server smoke-s
 # regression comparison against the committed baselines. The comparison
 # is soft here as in CI (shared runners are noisy) — run `make
 # benchdiff` for the hard-failing version.
-ci: fmt vet build test race fuzz smoke-strategies smoke-server smoke-store smoke-cluster smoke-jobs bench bench-server bench-cluster benchdiff-soft
+ci: fmt vet build test race fuzz smoke-strategies smoke-server smoke-store smoke-cluster smoke-jobs smoke-corpus bench bench-server bench-cluster benchdiff-soft
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -82,6 +82,14 @@ smoke-store:
 smoke-cluster:
 	sh scripts/cluster_smoke.sh
 
+# smoke-corpus proves the corpus engine and machine zoo end to end: a
+# small spec generated twice byte-identically, hash-verified by
+# inspect, then replayed through a live rallocd on two zoo machines
+# with every request a verified 200; an unknown -machine must fail
+# fast naming the registered ones.
+smoke-corpus:
+	sh scripts/corpus_smoke.sh
+
 # smoke-jobs proves the async job API byte-identical to the sync path
 # through the routing proxy — submit POST /v1/jobs, poll, stream NDJSON
 # results, compare code bytes against a sync run — and requires the
@@ -92,11 +100,12 @@ smoke-jobs:
 	sh scripts/jobs_smoke.sh
 
 # bench runs the go-test benchmark suite, then the batch-driver
-# benchmark, which snapshots routines/sec, parallel speedup and cache
-# hit rate into BENCH_driver.json (uploaded as a CI artifact).
+# benchmark, which snapshots routines/sec, parallel speedup, cache hit
+# rate and a generated-corpus replay leg into BENCH_driver.json
+# (uploaded as a CI artifact).
 bench:
 	$(GO) test -bench . -benchtime 1x -run ^$$ .
-	$(GO) run ./cmd/driverbench -out BENCH_driver.json
+	$(GO) run ./cmd/driverbench -corpus count=200,seed=7 -out BENCH_driver.json
 
 # bench-server drives a live rallocd closed-loop and snapshots
 # throughput and latency quantiles into BENCH_server.json.

@@ -46,6 +46,7 @@ type driverReport struct {
 	Sequential leg    `json:"sequential"`
 	Parallel   leg    `json:"parallel"`
 	WarmCache  leg    `json:"warm_cache"`
+	Corpus     leg    `json:"corpus"`
 }
 
 // serverReport mirrors rallocload's BENCH_server.json.
@@ -170,6 +171,7 @@ func compareDriver(basePath, curPath string, threshold float64, github bool) (bo
 		{"sequential", base.Sequential, cur.Sequential},
 		{"parallel", base.Parallel, cur.Parallel},
 		{"warm_cache", base.WarmCache, cur.WarmCache},
+		{"corpus", base.Corpus, cur.Corpus},
 	} {
 		if l.base.RoutinesPerSec <= 0 {
 			fmt.Printf("%-12s %15s %15.0f %9s\n", l.name, "(none)", l.cur.RoutinesPerSec, "-")

@@ -5,12 +5,22 @@
 // see `make bench` and cmd/benchdiff for the regression gate).
 //
 //	driverbench [-out BENCH_driver.json] [-reps 3] [-mode remat]
-//	            [-strategy spec] [-regs 6] [-cache-dir dir]
+//	            [-strategy spec] [-machine name] [-regs 6]
+//	            [-corpus spec] [-cache-dir dir]
 //	            [-trace out.json] [-metrics] [-pprof addr]
 //
 // -strategy selects a registered allocation strategy by spec (see
 // `ralloc -list-strategies`), overriding -mode; the report records it
 // so benchmark files from different strategies never compare silently.
+// -machine selects a zoo machine by name (see `ralloc -list-machines`)
+// or a regs=N sweep point, overriding -regs; it too lands in the
+// report.
+//
+// -corpus adds a corpus-replay leg: the spec'd generated corpus (see
+// internal/corpus; e.g. "count=200,seed=7") allocates through the
+// parallel cold path, measuring throughput on heavy, diverse traffic
+// instead of the 35 suite kernels. The report records the spec and the
+// corpus routine count alongside the leg.
 //
 // -cache-dir backs the warm-cache leg with the persistent disk tier
 // (internal/store) instead of a plain in-memory cache, and adds a
@@ -44,7 +54,9 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/corpus"
 	"repro/internal/driver"
+	"repro/internal/machines"
 	"repro/internal/store"
 	"repro/internal/suite"
 	"repro/internal/target"
@@ -69,6 +81,7 @@ type report struct {
 	NumCPU        int    `json:"num_cpu"`
 	Mode          string `json:"mode"`
 	Strategy      string `json:"strategy"`
+	Machine       string `json:"machine,omitempty"`
 	Regs          int    `json:"regs"`
 	Routines      int    `json:"routines"`
 	Reps          int    `json:"reps"`
@@ -76,6 +89,12 @@ type report struct {
 	Sequential runMeasure `json:"sequential"`
 	Parallel   runMeasure `json:"parallel"`
 	WarmCache  runMeasure `json:"warm_cache"`
+	// Corpus measures the parallel cold path over the generated corpus
+	// named by CorpusSpec (only with -corpus): heavy, diverse traffic
+	// instead of the suite kernels.
+	Corpus         *runMeasure `json:"corpus,omitempty"`
+	CorpusSpec     string      `json:"corpus_spec,omitempty"`
+	CorpusRoutines int         `json:"corpus_routines,omitempty"`
 	// DiskWarm measures serving from the persistent disk tier through a
 	// fresh, empty L1 (only with -cache-dir): every hit pays the disk
 	// read, integrity check and re-parse.
@@ -97,7 +116,9 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions per configuration (best wall time wins)")
 	mode := flag.String("mode", "remat", "allocator mode: remat or chaitin")
 	strategy := flag.String("strategy", "", "allocation strategy spec (overrides -mode; see ralloc -list-strategies)")
+	machine := flag.String("machine", "", "target machine: a zoo name (see ralloc -list-machines) or regs=N; overrides -regs")
 	regs := flag.Int("regs", 6, "registers per class (6 = the calibrated pressure point)")
+	corpusSpec := flag.String("corpus", "", "add a corpus-replay leg over this generated-corpus spec (see internal/corpus; e.g. count=200,seed=7)")
 	cacheDir := flag.String("cache-dir", "", "back the warm-cache leg with a persistent disk tier in this directory (adds the disk_warm leg)")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file covering the bench run")
 	metrics := flag.Bool("metrics", false, "dump the telemetry metrics registry to stderr after the run")
@@ -105,6 +126,13 @@ func main() {
 	flag.Parse()
 
 	opts := core.Options{Machine: target.WithRegs(*regs)}
+	if *machine != "" {
+		m, err := machines.Lookup(*machine)
+		if err != nil {
+			fail(err)
+		}
+		opts.Machine = m
+	}
 	switch *mode {
 	case "remat":
 		opts.Mode = core.ModeRemat
@@ -167,6 +195,7 @@ func main() {
 		NumCPU:        runtime.NumCPU(),
 		Mode:          *mode,
 		Strategy:      opts.Canonical().Strategy,
+		Machine:       opts.Machine.Name,
 		Regs:          *regs,
 		Routines:      len(units),
 		Reps:          *reps,
@@ -240,6 +269,25 @@ func main() {
 		rep.CacheStats = &store.Stats{L1: cs, L1HitRate: cs.HitRate()}
 	}
 
+	if *corpusSpec != "" {
+		spec, err := corpus.ParseSpec(*corpusSpec)
+		if err != nil {
+			fail(err)
+		}
+		cunits, err := corpus.Generate(spec)
+		if err != nil {
+			fail(err)
+		}
+		var cwork []driver.Unit
+		for _, rt := range corpus.Routines(cunits) {
+			cwork = append(cwork, driver.Unit{Name: rt.Name, Routine: rt})
+		}
+		cm := measureCold(cwork, opts, sink, par, *reps)
+		rep.Corpus = &cm
+		rep.CorpusSpec = spec.String()
+		rep.CorpusRoutines = len(cwork)
+	}
+
 	if rep.Parallel.WallMs > 0 {
 		rep.Speedup = rep.Sequential.WallMs / rep.Parallel.WallMs
 	}
@@ -279,6 +327,10 @@ func main() {
 	fmt.Printf("driverbench: %d routines, -j1 %.1fms, -j%d(eff %d) %.1fms (%.2fx), warm cache %.1fms (%.0f%% hits) -> %s\n",
 		rep.Routines, rep.Sequential.WallMs, rep.Parallel.JobsRequested, rep.Parallel.JobsEffective,
 		rep.Parallel.WallMs, rep.Speedup, rep.WarmCache.WallMs, 100*rep.WarmCache.CacheHitRate, *out)
+	if rep.Corpus != nil {
+		fmt.Printf("driverbench: corpus %s: %d routines, %.1fms (%.0f routines/sec)\n",
+			rep.CorpusSpec, rep.CorpusRoutines, rep.Corpus.WallMs, rep.Corpus.RoutinesPerSec)
+	}
 }
 
 // measureCold runs the batch with a fresh cacheless engine reps times

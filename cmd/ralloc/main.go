@@ -1,10 +1,10 @@
 // Command ralloc allocates the registers of one or more ILOC routines
 // and prints the result.
 //
-//	ralloc [-strategy spec] [-mode remat|chaitin] [-regs N]
-//	       [-split scheme] [-j N] [-cache] [-c] [-stats]
+//	ralloc [-strategy spec] [-machine name] [-mode remat|chaitin]
+//	       [-regs N] [-split scheme] [-j N] [-cache] [-c] [-stats]
 //	       [-verify] [-strict] [-trace out.json] [-metrics]
-//	       [-list-strategies] [file.iloc ...]
+//	       [-list-strategies] [-list-machines] [file.iloc ...]
 //
 // With no file it reads standard input; "-" names standard input
 // explicitly.
@@ -13,7 +13,11 @@
 // from -list-strategies, optionally with parameters after ":"
 // ("remat:split=all-loops,no-bias"). It overrides -mode and -split; an
 // unknown name fails listing the valid ones. -list-strategies prints
-// the registered strategies, one per line, and exits. Several files form a module: they are allocated
+// the registered strategies, one per line, and exits.
+//
+// -machine selects a target machine from the zoo by name (see
+// -list-machines), or a "regs=N" sweep point; it overrides -regs. An
+// unknown name fails listing the registered ones. Several files form a module: they are allocated
 // concurrently by the batch driver (-j bounds the worker pool,
 // defaulting to the number of CPUs) and printed in input order, so the
 // output is byte-identical whatever the parallelism. -cache enables the
@@ -49,6 +53,7 @@ import (
 	"repro/internal/ctrans"
 	"repro/internal/driver"
 	"repro/internal/iloc"
+	"repro/internal/machines"
 	"repro/internal/store"
 	"repro/internal/target"
 	"repro/internal/telemetry"
@@ -57,6 +62,8 @@ import (
 func main() {
 	strategy := flag.String("strategy", "", "allocation strategy spec (see -list-strategies); overrides -mode and -split")
 	listStrategies := flag.Bool("list-strategies", false, "list the registered allocation strategies and exit")
+	machine := flag.String("machine", "", "target machine from the zoo (see -list-machines), or regs=N; overrides -regs")
+	listMachines := flag.Bool("list-machines", false, "list the registered target machines and exit")
 	mode := flag.String("mode", "remat", "allocator mode: remat (the paper) or chaitin (baseline)")
 	regs := flag.Int("regs", 16, "registers per class (16 = the paper's standard machine)")
 	split := flag.String("split", "none", "splitting scheme: none, all-loops, outer-loops, inactive-loops, all-phis")
@@ -77,8 +84,23 @@ func main() {
 		}
 		return
 	}
+	if *listMachines {
+		for _, e := range machines.All() {
+			fmt.Printf("%-12s %s\n", e.Name, e.Description)
+		}
+		return
+	}
 
 	opts := core.Options{Machine: target.WithRegs(*regs)}
+	if *machine != "" {
+		// Resolve up front so a typo fails before any input is read,
+		// with the error naming every registered machine.
+		m, err := machines.Lookup(*machine)
+		if err != nil {
+			fail(err)
+		}
+		opts.Machine = m
+	}
 	opts.Verify = *verify || *strict
 	opts.DisableDegradation = *strict
 	switch *mode {

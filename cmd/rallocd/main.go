@@ -2,7 +2,7 @@
 // allocator over HTTP (see internal/server).
 //
 //	rallocd [-addr host:port] [-addr-file path] [-instance-id name]
-//	        [-mode remat|chaitin]
+//	        [-mode remat|chaitin] [-machine name]
 //	        [-regs N] [-verify=false] [-j N] [-cache-size N]
 //	        [-cache-dir dir] [-warm-from file|url]
 //	        [-max-inflight N] [-max-queue N]
@@ -70,6 +70,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/driver"
+	"repro/internal/machines"
 	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/target"
@@ -80,6 +81,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8347", "listen address (port 0 picks an ephemeral port)")
 	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
 	mode := flag.String("mode", "remat", "default allocator mode: remat or chaitin")
+	machine := flag.String("machine", "", "default target machine: a zoo name from GET /v1/machines, or regs=N; overrides -regs")
 	regs := flag.Int("regs", 16, "default registers per class")
 	verify := flag.Bool("verify", true, "run the post-allocation verifier on every result by default")
 	jobs := flag.Int("j", 0, "per-batch worker pool size (0 = number of CPUs)")
@@ -105,6 +107,13 @@ func main() {
 	flag.Parse()
 
 	opts := core.Options{Machine: target.WithRegs(*regs), Verify: *verify}
+	if *machine != "" {
+		m, err := machines.Lookup(*machine)
+		if err != nil {
+			fail(err)
+		}
+		opts.Machine = m
+	}
 	switch *mode {
 	case "remat":
 		opts.Mode = core.ModeRemat

@@ -5,9 +5,10 @@
 // gates it against the committed baseline).
 //
 //	rallocload -url http://host:port[,http://host:port...]
-//	           [-input file.iloc] [-c 4] [-jobs]
+//	           [-input file.iloc | -corpus dir] [-c 4] [-jobs]
 //	           [-duration 5s] [-requests N] [-deadline-ms N]
 //	           [-retry-429 N] [-strategy name] [-require-strategy name]
+//	           [-machine name] [-require-machine name]
 //	           [-phases cold,warm] [-expect-verified]
 //	           [-require-cache-hits N] [-require-disk-hits N]
 //	           [-code-out file] [-out BENCH_server.json]
@@ -39,6 +40,17 @@
 // options. -require-strategy first asks GET /v1/strategies and fails
 // unless the server lists the name — the smoke test uses it to assert
 // the listing endpoint and a non-default strategy end to end.
+//
+// -machine sends the named target machine (a zoo name or regs=N) in
+// each request's options; an unknown name exits nonzero up front,
+// listing the registered ones. -require-machine first asks
+// GET /v1/machines and fails unless the server lists the name.
+//
+// -corpus replaces -input with a written corpus directory (see
+// cmd/rcorpus): its manifest is hash-verified, and workers round-robin
+// the corpus units as request bodies — heavy, diverse traffic instead
+// of one fixed routine. Each unit is one request (a unit file's
+// routines allocate together, exactly as /v1/allocate accepts them).
 //
 // -requests N sends exactly N requests (spread across the workers) and
 // ignores -duration; otherwise the workers run closed-loop for
@@ -89,6 +101,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/corpus"
+	"repro/internal/machines"
 	"repro/internal/server"
 )
 
@@ -177,6 +191,9 @@ func main() {
 	retry429 := flag.Int("retry-429", 0, "retry a shed (429) request up to N times, honoring Retry-After")
 	strategy := flag.String("strategy", "", "allocation strategy to request (empty = server default)")
 	requireStrategy := flag.String("require-strategy", "", "fail unless GET /v1/strategies lists this name")
+	machine := flag.String("machine", "", "target machine to request: a zoo name or regs=N (empty = server default)")
+	requireMachine := flag.String("require-machine", "", "fail unless GET /v1/machines lists this name")
+	corpusDir := flag.String("corpus", "", "replay a written corpus directory (see cmd/rcorpus) instead of -input; units round-robin as request bodies")
 	phases := flag.String("phases", "", "comma-separated phase names; the workload runs once per phase (e.g. cold,warm)")
 	expectVerified := flag.Bool("expect-verified", false, "treat an unverified unit in a 200 as an error")
 	requireCacheHits := flag.Int64("require-cache-hits", -1, "fail unless responses reported at least N cache hits in total")
@@ -199,6 +216,14 @@ func main() {
 		fail(fmt.Errorf("-url lists no targets"))
 	}
 
+	if *machine != "" {
+		// Resolve up front: a typo exits nonzero before any traffic,
+		// with the error naming every registered machine.
+		if _, err := machines.Lookup(*machine); err != nil {
+			fail(err)
+		}
+	}
+
 	for _, t := range targets {
 		if *waitReady > 0 {
 			if err := awaitReady(t, *waitReady); err != nil {
@@ -210,30 +235,55 @@ func main() {
 				fail(err)
 			}
 		}
+		if *requireMachine != "" {
+			if err := checkMachineListed(t, *requireMachine); err != nil {
+				fail(err)
+			}
+		}
 	}
 
-	src, err := os.ReadFile(*input)
-	if err != nil {
-		fail(err)
+	// The request options every body carries (nil when all defaults).
+	var optsReq *server.OptionsRequest
+	if *strategy != "" || *machine != "" {
+		optsReq = &server.OptionsRequest{Strategy: *strategy, Machine: *machine}
 	}
-	var body []byte
-	if *jobsMode {
-		// The job body is the same workload as a one-unit batch; the
-		// server's async path must hold it to the same bar.
-		jreq := server.BatchRequest{Units: []server.BatchUnit{{ILOC: string(src)}}}
-		if *strategy != "" {
-			jreq.Options = &server.OptionsRequest{Strategy: *strategy}
+
+	// The workload: one fixed -input body, or every unit of a written
+	// corpus, each unit one request body the workers round-robin.
+	var sources []string
+	if *corpusDir != "" {
+		m, cunits, err := corpus.Load(*corpusDir)
+		if err != nil {
+			fail(err)
 		}
-		body, err = json.Marshal(jreq)
+		for _, u := range cunits {
+			sources = append(sources, u.Text)
+		}
+		fmt.Fprintf(os.Stderr, "rallocload: corpus %s: %d units, %d routines (spec %s)\n",
+			*corpusDir, m.Units, m.Routines, m.Spec)
 	} else {
-		areq := server.AllocateRequest{ILOC: string(src)}
-		if *strategy != "" {
-			areq.Options = &server.OptionsRequest{Strategy: *strategy}
+		src, err := os.ReadFile(*input)
+		if err != nil {
+			fail(err)
 		}
-		body, err = json.Marshal(areq)
+		sources = []string{string(src)}
 	}
-	if err != nil {
-		fail(err)
+	bodies := make([][]byte, len(sources))
+	for i, src := range sources {
+		var body []byte
+		var err error
+		if *jobsMode {
+			// The job body is the same workload as a one-unit batch; the
+			// server's async path must hold it to the same bar.
+			jreq := server.BatchRequest{Units: []server.BatchUnit{{ILOC: src}}, Options: optsReq}
+			body, err = json.Marshal(jreq)
+		} else {
+			body, err = json.Marshal(server.AllocateRequest{ILOC: src, Options: optsReq})
+		}
+		if err != nil {
+			fail(err)
+		}
+		bodies[i] = body
 	}
 
 	phaseNames := []string{""}
@@ -249,7 +299,7 @@ func main() {
 	run := runner{
 		client:         &http.Client{Timeout: 2 * time.Minute},
 		urls:           targets,
-		body:           body,
+		bodies:         bodies,
 		conc:           *conc,
 		duration:       *duration,
 		requests:       *requests,
@@ -371,7 +421,7 @@ func checkAuditClean(client *http.Client, base string) error {
 type runner struct {
 	client         *http.Client
 	urls           []string
-	body           []byte
+	bodies         [][]byte
 	conc           int
 	duration       time.Duration
 	requests       int64
@@ -382,6 +432,7 @@ type runner struct {
 	firstErr       atomic.Value
 	firstCode      atomic.Value
 	next           atomic.Int64
+	nextBody       atomic.Int64
 	jobsExpired    atomic.Int64
 
 	mu       sync.Mutex
@@ -488,17 +539,18 @@ func (rn *runner) phase(name string) (phaseReport, []time.Duration) {
 // return counts against the serving contract.
 func (rn *runner) shoot() (shotResult, error) {
 	base := rn.urls[int(rn.next.Add(1)-1)%len(rn.urls)]
+	body := rn.bodies[int(rn.nextBody.Add(1)-1)%len(rn.bodies)]
 	if rn.jobs {
-		return rn.shootJob(base)
+		return rn.shootJob(base, body)
 	}
-	return rn.shootSync(base)
+	return rn.shootSync(base, body)
 }
 
 // shootSync drives one synchronous POST /v1/allocate round trip.
-func (rn *runner) shootSync(base string) (shotResult, error) {
+func (rn *runner) shootSync(base string, body []byte) (shotResult, error) {
 	var sr shotResult
 	for {
-		req, err := http.NewRequest(http.MethodPost, base+"/v1/allocate", bytes.NewReader(rn.body))
+		req, err := http.NewRequest(http.MethodPost, base+"/v1/allocate", bytes.NewReader(body))
 		if err != nil {
 			return sr, err
 		}
@@ -574,11 +626,11 @@ func (rn *runner) classify(sr *shotResult, resp *http.Response) (done bool, err 
 // -retry-429 budget like the sync path; poll and stream must answer
 // 200 (a 410 "job_expired" is the explicit retention-expiry verdict,
 // counted in jobs_expired).
-func (rn *runner) shootJob(base string) (shotResult, error) {
+func (rn *runner) shootJob(base string, body []byte) (shotResult, error) {
 	var sr shotResult
 	var jr server.JobResponse
 	for {
-		req, err := http.NewRequest(http.MethodPost, base+"/v1/jobs", bytes.NewReader(rn.body))
+		req, err := http.NewRequest(http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
 		if err != nil {
 			return sr, err
 		}
@@ -824,6 +876,32 @@ func checkStrategyListed(base, name string) error {
 		}
 	}
 	return fmt.Errorf("GET /v1/strategies does not list %q (got %v)", name, listed)
+}
+
+// checkMachineListed asserts GET /v1/machines answers 200 and lists the
+// named target machine.
+func checkMachineListed(base, name string) error {
+	resp, err := http.Get(base + "/v1/machines")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("GET /v1/machines: status %d: %s", resp.StatusCode, b)
+	}
+	var mr server.MachinesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		return fmt.Errorf("GET /v1/machines: bad body: %w", err)
+	}
+	listed := make([]string, len(mr.Machines))
+	for i, mi := range mr.Machines {
+		listed[i] = mi.Name
+		if mi.Name == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("GET /v1/machines does not list %q (got %v)", name, listed)
 }
 
 func fail(err error) {

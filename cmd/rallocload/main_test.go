@@ -19,7 +19,7 @@ func testRunner(url string) *runner {
 		client:   &http.Client{Timeout: 10 * time.Second},
 		urls:     []string{url},
 		jobs:     true,
-		body:     []byte(`{"units":[{"iloc":"x"}]}`),
+		bodies:   [][]byte{[]byte(`{"units":[{"iloc":"x"}]}`)},
 		backends: make(map[string]int64),
 	}
 }
@@ -64,7 +64,7 @@ func TestShootJobHappyPath(t *testing.T) {
 		})
 	rn := testRunner(ts.URL)
 	rn.expectVerified = true
-	sr, err := rn.shootJob(ts.URL)
+	sr, err := rn.shootJob(ts.URL, rn.bodies[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestShootJobRejectsUnverifiedUnit(t *testing.T) {
 		[]server.UnitResponse{{Name: "a", Code: "nop\n", Verified: false}})
 	rn := testRunner(ts.URL)
 	rn.expectVerified = true
-	if _, err := rn.shootJob(ts.URL); err == nil || !strings.Contains(err.Error(), "not verified") {
+	if _, err := rn.shootJob(ts.URL, rn.bodies[0]); err == nil || !strings.Contains(err.Error(), "not verified") {
 		t.Fatalf("err = %v, want unit-not-verified", err)
 	}
 }
@@ -111,7 +111,7 @@ func TestShootJobExpiryIsExplicit(t *testing.T) {
 	t.Cleanup(ts.Close)
 
 	rn := testRunner(ts.URL)
-	_, err := rn.shootJob(ts.URL)
+	_, err := rn.shootJob(ts.URL, rn.bodies[0])
 	if err == nil || !strings.Contains(err.Error(), "expired") || !strings.Contains(err.Error(), "-job-retention") {
 		t.Fatalf("err = %v, want explicit expiry message", err)
 	}
@@ -142,7 +142,7 @@ func TestShootJobShedRespectsRetryBudget(t *testing.T) {
 	t.Cleanup(ts.Close)
 
 	rn := testRunner(ts.URL)
-	sr, err := rn.shootJob(ts.URL)
+	sr, err := rn.shootJob(ts.URL, rn.bodies[0])
 	if err != nil || sr.status != http.StatusTooManyRequests {
 		t.Fatalf("budget 0: sr %+v err %v, want clean 429", sr, err)
 	}
@@ -151,7 +151,7 @@ func TestShootJobShedRespectsRetryBudget(t *testing.T) {
 	}
 
 	rn.retry429 = 2
-	sr, err = rn.shootJob(ts.URL)
+	sr, err = rn.shootJob(ts.URL, rn.bodies[0])
 	if err != nil || sr.status != http.StatusTooManyRequests || sr.retries != 2 {
 		t.Fatalf("budget 2: sr %+v err %v", sr, err)
 	}
@@ -181,9 +181,9 @@ func TestJobsModeEndToEndAgainstRealServer(t *testing.T) {
 		t.Fatal(err)
 	}
 	rn := testRunner(ts.URL)
-	rn.body = body
+	rn.bodies = [][]byte{body}
 	rn.expectVerified = true
-	sr, err := rn.shootJob(ts.URL)
+	sr, err := rn.shootJob(ts.URL, rn.bodies[0])
 	if err != nil {
 		t.Fatal(err)
 	}

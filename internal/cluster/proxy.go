@@ -233,6 +233,7 @@ func New(cfg Config) (*Proxy, error) {
 	p.mux.HandleFunc("DELETE /v1/jobs/{id}", p.handleJobForward)
 	p.mux.HandleFunc("/v1/audit", p.handleAudit)
 	p.mux.HandleFunc("/v1/strategies", p.handleForwardGET)
+	p.mux.HandleFunc("/v1/machines", p.handleForwardGET)
 	p.mux.HandleFunc("/v1/cluster", p.handleCluster)
 	p.mux.HandleFunc("/healthz", p.handleHealthz)
 	p.mux.HandleFunc("/readyz", p.handleReadyz)
@@ -799,8 +800,9 @@ func mergeStats(dst *server.BatchStats, src server.BatchStats) {
 
 // --- operational surface ---
 
-// handleForwardGET relays a read-only endpoint (GET /v1/strategies) to
-// any available backend — the listing is identical cluster-wide.
+// handleForwardGET relays a read-only endpoint (GET /v1/strategies,
+// GET /v1/machines) to any available backend — the listing is
+// identical cluster-wide.
 func (p *Proxy) handleForwardGET(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)

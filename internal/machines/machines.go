@@ -1,0 +1,230 @@
+// Package machines is the target-machine zoo: a registry of named,
+// validated machine descriptions on top of internal/target, selectable
+// per-request by name everywhere the stack accepts options — the
+// "machine" field of /v1/allocate and per-unit on /v1/batch and
+// /v1/jobs, GET /v1/machines, and the -machine flag of the CLIs.
+//
+// The paper evaluates rematerialization on a single 16-register test
+// machine, but the allocator's cost model and spill decisions are
+// parameterized by the target, and spill behavior changes qualitatively
+// with register count and bank structure (Bouchez, Darte and Rastello,
+// "On the Complexity of Spill Everywhere under SSA Form"). The zoo
+// pins down a handful of realistic points in that space so the
+// verifier, the suite and the benchmarks exercise more than one
+// machine:
+//
+//   - standard     the paper's 16-register test machine
+//   - huge         the paper's 128-register zero-spill baseline
+//   - x86-64       16 registers per bank, a small caller-save
+//     partition, and pricier memory traffic
+//   - aarch64      32-register banks (31 allocatable colors), a wide
+//     caller-save scratch set
+//   - embedded-8   8-register banks — the starved end of the space,
+//     where nearly everything spills
+//
+// Beyond the named entries, the parameterized spelling "regs=N"
+// resolves to the target.WithRegs sweep point (Validate-checked, so
+// "regs=1" fails with a descriptive error instead of misallocating
+// downstream).
+//
+// Every registration is Validate-checked, and no two registered
+// machines may share a cache-key shape (register file, partition, cost
+// model): distinct names mean distinct allocations, so per-machine
+// results never share a content-addressed cache entry and route to
+// distinct cluster owners.
+package machines
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/iloc"
+	"repro/internal/target"
+)
+
+// Entry is one registered machine: the validated description plus the
+// one-line story GET /v1/machines tells about it.
+type Entry struct {
+	Name        string
+	Description string
+	Machine     *target.Machine
+}
+
+// UnknownMachineError reports a Lookup miss. The serving layer surfaces
+// Registered to clients so a 400 names every valid choice (mirroring
+// core.UnknownStrategyError for strategies).
+type UnknownMachineError struct {
+	Name       string
+	Registered []string
+}
+
+func (e *UnknownMachineError) Error() string {
+	return fmt.Sprintf("unknown machine %q (registered: %s; or regs=N for a sweep point)",
+		e.Name, strings.Join(e.Registered, ", "))
+}
+
+var (
+	mu    sync.RWMutex
+	reg   = map[string]Entry{}
+	order []string
+)
+
+// ShapeKey renders the semantic identity of a machine — the register
+// file, the calling-convention partition and the cycle cost model,
+// everything the allocator's output can depend on — as one comparable
+// string. Two machines with equal shape keys configure identical
+// allocations; the registry rejects a second registration with the
+// shape of an existing one so "distinct machine names, distinct cache
+// keys" holds by construction.
+func ShapeKey(m *target.Machine) string {
+	return fmt.Sprintf("regs=%d,%d callersave=%d mem=%d other=%d",
+		m.Regs[0], m.Regs[1], m.CallerSave, m.MemCycles, m.OtherCycles)
+}
+
+// Register adds a machine to the zoo. Registration is init-time wiring,
+// so a nil or invalid machine, an empty or reserved name ("regs=N"), a
+// duplicate name, or a shape collision with an already-registered
+// machine panics.
+func Register(description string, m *target.Machine) {
+	if m == nil || m.Name == "" {
+		panic("machines: Register: machine needs a name")
+	}
+	if strings.ContainsAny(m.Name, "=,: \t\n") {
+		panic(fmt.Sprintf("machines: Register: invalid name %q", m.Name))
+	}
+	if err := m.Validate(); err != nil {
+		panic(fmt.Sprintf("machines: Register %q: %v", m.Name, err))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := reg[m.Name]; dup {
+		panic(fmt.Sprintf("machines: Register: duplicate machine %q", m.Name))
+	}
+	shape := ShapeKey(m)
+	for _, name := range order {
+		if ShapeKey(reg[name].Machine) == shape {
+			panic(fmt.Sprintf("machines: Register %q: shape %s already registered as %q (distinct machines must differ in register file, partition or cost model)",
+				m.Name, shape, name))
+		}
+	}
+	reg[m.Name] = Entry{Name: m.Name, Description: description, Machine: m}
+	order = append(order, m.Name)
+}
+
+// Names lists the registered machine names in registration order.
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	return append([]string(nil), order...)
+}
+
+// All lists the registered machines in registration order. The entries
+// carry the registry's own Machine pointers; callers must treat them as
+// read-only (Lookup returns clones for callers that configure
+// allocations).
+func All() []Entry {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]Entry, len(order))
+	for i, name := range order {
+		out[i] = reg[name]
+	}
+	return out
+}
+
+// Lookup resolves a machine name to a fresh clone of its description:
+// a registered name, or the parameterized "regs=N" spelling of a
+// target.WithRegs sweep point. The result is always Validate-clean —
+// a degenerate sweep point ("regs=1") fails here with the validator's
+// descriptive error, and an unregistered name returns
+// *UnknownMachineError listing every valid choice.
+func Lookup(name string) (*target.Machine, error) {
+	if n, ok := strings.CutPrefix(name, "regs="); ok {
+		regs, err := strconv.Atoi(n)
+		if err != nil {
+			return nil, fmt.Errorf("machine %q: bad register count %q", name, n)
+		}
+		m := target.WithRegs(regs)
+		if err := m.Validate(); err != nil {
+			return nil, fmt.Errorf("machine %q: %w", name, err)
+		}
+		return m, nil
+	}
+	mu.RLock()
+	e, ok := reg[name]
+	mu.RUnlock()
+	if !ok {
+		return nil, &UnknownMachineError{Name: name, Registered: Names()}
+	}
+	return e.Machine.Clone(), nil
+}
+
+// Starved derives the register-starved variant of a machine used by the
+// sweep tests: banks clamped to four registers (three colors) with the
+// caller-save partition shrunk to fit, the cost model kept. The result
+// always validates.
+func Starved(m *target.Machine) *target.Machine {
+	s := m.Clone()
+	s.Name = m.Name + "-starved"
+	for c := range s.Regs {
+		if s.Regs[c] > 4 {
+			s.Regs[c] = 4
+		}
+	}
+	minK := s.K(iloc.Class(0))
+	for c := iloc.Class(0); c < iloc.NumClasses; c++ {
+		if k := s.K(c); k < minK {
+			minK = k
+		}
+	}
+	if s.CallerSave > minK-1 {
+		s.CallerSave = minK - 1
+	}
+	return s
+}
+
+func init() {
+	// The paper's two presets, under their historical names; the
+	// registry is the one place their shapes are declared authoritative.
+	Register("the paper's 16-register test machine (2-cycle memory operations)", target.Standard())
+	Register("the paper's 128-register zero-spill baseline (Table 1's reference)", target.Huge())
+
+	// x86-64-ish: 16 registers per bank like the standard machine, but a
+	// small caller-save partition (three scratch colors per class) and a
+	// pricier memory hierarchy — rematerialization pays off more, and
+	// call-crossing ranges fight less for callee-save colors.
+	Register("x86-64-ish: 16-register banks, small caller-save partition, 4-cycle memory",
+		&target.Machine{
+			Name:        "x86-64",
+			Regs:        [iloc.NumClasses]int{16, 16},
+			CallerSave:  3,
+			MemCycles:   4,
+			OtherCycles: 1,
+		})
+
+	// AArch64-ish: 32-register banks (31 allocatable colors after the
+	// reserved register 0) with a wide caller-save scratch set, roughly
+	// the AAPCS64 split.
+	Register("aarch64-ish: 32-register banks (31 colors), wide caller-save scratch set, 3-cycle memory",
+		&target.Machine{
+			Name:        "aarch64",
+			Regs:        [iloc.NumClasses]int{32, 32},
+			CallerSave:  18,
+			MemCycles:   3,
+			OtherCycles: 1,
+		})
+
+	// The starved end of the zoo: 8-register banks, 7 colors, nearly
+	// everything under pressure spills — the regime the spill-everywhere
+	// complexity results speak to.
+	Register("embedded-8: 8-register banks (7 colors) — the starved end of the zoo",
+		&target.Machine{
+			Name:        "embedded-8",
+			Regs:        [iloc.NumClasses]int{8, 8},
+			CallerSave:  2,
+			MemCycles:   2,
+			OtherCycles: 1,
+		})
+}

@@ -17,7 +17,10 @@ import (
 	"repro/internal/iloc"
 )
 
-// Config bounds the generated routine.
+// Config bounds the generated routine. The exported knobs are the
+// corpus generator's controls (internal/corpus): CFG shape via MaxDepth
+// and Regions, call density via Callees and CallDensity, and register
+// pressure via Pressure.
 type Config struct {
 	// MaxDepth bounds loop/diamond nesting (default 2).
 	MaxDepth int
@@ -25,18 +28,29 @@ type Config struct {
 	Regions int
 	// DataWords is the size of each static array (default 16).
 	DataWords int
-	// name and labelPrefix distinguish the routines of a program; callees
-	// set by GenerateProgram.
-	name        string
-	labelPrefix string
-	// callees the routine may call (by name, each taking one integer
-	// argument and returning an integer).
-	callees []string
-	// intParam adds one integer parameter (read with getparam);
-	// retInt converts the result to an integer return. Both are set for
-	// the callees GenerateProgram builds.
-	intParam bool
-	retInt   bool
+	// Pressure is the number of integer/float register pairs seeded into
+	// the live pools and folded into the final result (default 3).
+	// Values folded at the end stay live from their definitions to the
+	// routine's exit, so raising Pressure directly raises MAXLIVE and
+	// with it the spill pressure at any register count.
+	Pressure int
+	// Name names the generated routine (default "rand"); LabelPrefix
+	// prefixes its block labels and static data so several generated
+	// routines link into one program/interpreter environment.
+	Name        string
+	LabelPrefix string
+	// Callees are routine names this routine may call (each taking one
+	// integer argument and returning an integer, the setarg/call/getret
+	// convention). CallDensity is the per-instruction-slot probability of
+	// emitting such a call when Callees is non-empty (default 0.125;
+	// negative disables calls entirely).
+	Callees     []string
+	CallDensity float64
+	// IntParam adds one integer parameter (read with getparam); RetInt
+	// converts the result to an integer return. Both are set for the
+	// callees GenerateProgram builds.
+	IntParam bool
+	RetInt   bool
 }
 
 func (c Config) withDefaults() Config {
@@ -49,8 +63,14 @@ func (c Config) withDefaults() Config {
 	if c.DataWords == 0 {
 		c.DataWords = 16
 	}
-	if c.name == "" {
-		c.name = "rand"
+	if c.Pressure == 0 {
+		c.Pressure = 3
+	}
+	if c.CallDensity == 0 {
+		c.CallDensity = 0.125
+	}
+	if c.Name == "" {
+		c.Name = "rand"
 	}
 	return c
 }
@@ -70,7 +90,7 @@ type gen struct {
 // test can compare both the return value and the memory image.
 func Generate(rng *rand.Rand, cfg Config) *iloc.Routine {
 	cfg = cfg.withDefaults()
-	g := &gen{rng: rng, cfg: cfg, b: iloc.NewBuilder(cfg.name)}
+	g := &gen{rng: rng, cfg: cfg, b: iloc.NewBuilder(cfg.Name)}
 
 	// Static data: one ro and two rw float arrays, one ro int array.
 	rovals := make([]float64, cfg.DataWords)
@@ -79,22 +99,24 @@ func Generate(rng *rand.Rand, cfg Config) *iloc.Routine {
 		rovals[i] = float64(rng.Intn(41)-20) * 0.25
 		iovals[i] = float64(rng.Intn(64) - 16)
 	}
-	g.b.Data(cfg.labelPrefix+"rodat", true, cfg.DataWords, true, rovals...)
-	g.b.Data(cfg.labelPrefix+"iodat", true, cfg.DataWords, false, iovals...)
-	g.b.Data(cfg.labelPrefix+"rwa", false, cfg.DataWords, true)
-	g.b.Data(cfg.labelPrefix+"rwb", false, cfg.DataWords, true)
+	g.b.Data(cfg.LabelPrefix+"rodat", true, cfg.DataWords, true, rovals...)
+	g.b.Data(cfg.LabelPrefix+"iodat", true, cfg.DataWords, false, iovals...)
+	g.b.Data(cfg.LabelPrefix+"rwa", false, cfg.DataWords, true)
+	g.b.Data(cfg.LabelPrefix+"rwb", false, cfg.DataWords, true)
 
 	var param iloc.Reg
-	if cfg.intParam {
+	if cfg.IntParam {
 		param = g.b.IntParam()
 	}
 	g.b.Block("entry")
-	if cfg.intParam {
+	if cfg.IntParam {
 		g.b.Getparam(param, 0)
 		g.ints = append(g.ints, param)
 	}
-	// Seed the pools.
-	for i := 0; i < 3; i++ {
+	// Seed the pools: Pressure register pairs, all folded into the final
+	// result below, so each seeded value's live range spans the whole
+	// routine body.
+	for i := 0; i < cfg.Pressure; i++ {
 		r := g.b.Int()
 		g.b.Ldi(r, int64(rng.Intn(21)-10))
 		g.ints = append(g.ints, r)
@@ -107,17 +129,23 @@ func Generate(rng *rand.Rand, cfg Config) *iloc.Routine {
 		g.region(1)
 	}
 
-	// Combine live values into the result.
+	// Combine live values into the result: Pressure floats plus one
+	// converted int, so the seeded pool stays live to the exit.
 	res := g.b.Flt()
 	g.b.Fldi(res, 0.0)
-	g.b.Fadd(res, res, g.anyFlt())
-	g.b.Fadd(res, res, g.anyFlt())
+	folds := cfg.Pressure
+	if folds < 2 {
+		folds = 2
+	}
+	for i := 0; i < folds; i++ {
+		g.b.Fadd(res, res, g.anyFlt())
+	}
 	ci := g.b.Flt()
 	g.b.Un(iloc.OpCvtif, ci, g.anyInt())
 	g.b.Fadd(res, res, ci)
 	// Clamp with fabs/fneg so NaNs/Infs from overflow still compare.
 	g.b.Fabs(res, res)
-	if cfg.retInt {
+	if cfg.RetInt {
 		ir := g.b.Int()
 		g.b.Un(iloc.OpCvtfi, ir, res)
 		g.b.Retr(ir)
@@ -143,20 +171,22 @@ func GenerateProgram(rng *rand.Rand, cfg Config) (*iloc.Routine, []*iloc.Routine
 	var names []string
 	for i := 0; i < n; i++ {
 		ccfg := cfg
-		ccfg.name = fmt.Sprintf("leaf%d", i)
-		ccfg.labelPrefix = fmt.Sprintf("c%d_", i)
+		ccfg.Name = fmt.Sprintf("%sleaf%d", cfg.Name, i)
+		ccfg.LabelPrefix = fmt.Sprintf("%sc%d_", cfg.LabelPrefix, i)
 		ccfg.Regions = 2
 		ccfg.MaxDepth = 1
-		ccfg.intParam = true
-		ccfg.retInt = true
-		ccfg.callees = nil
+		ccfg.IntParam = true
+		ccfg.RetInt = true
+		ccfg.Callees = nil
 		callees = append(callees, Generate(rng, ccfg))
-		names = append(names, ccfg.name)
+		names = append(names, ccfg.Name)
 	}
 	mcfg := cfg
-	mcfg.name = "main"
-	mcfg.labelPrefix = "m_"
-	mcfg.callees = names
+	if mcfg.Name == "rand" {
+		mcfg.Name = "main"
+	}
+	mcfg.LabelPrefix = cfg.LabelPrefix + "m_"
+	mcfg.Callees = names
 	return Generate(rng, mcfg), callees
 }
 
@@ -209,12 +239,12 @@ func (g *gen) straight(n int) {
 }
 
 func (g *gen) instr() {
-	// Occasionally call one of the available routines: pass an integer,
-	// pull the integer result back into the pool.
-	if len(g.cfg.callees) > 0 && g.rng.Intn(8) == 0 {
+	// Call one of the available routines with probability CallDensity:
+	// pass an integer, pull the integer result back into the pool.
+	if len(g.cfg.Callees) > 0 && g.cfg.CallDensity > 0 && g.rng.Float64() < g.cfg.CallDensity {
 		x := g.anyInt()
 		g.b.Emit(&iloc.Instr{Op: iloc.OpSetarg, Dst: iloc.NoReg, Src: [2]iloc.Reg{x, iloc.NoReg}, Imm: 0})
-		g.b.Emit(&iloc.Instr{Op: iloc.OpCall, Dst: iloc.NoReg, Label: g.cfg.callees[g.rng.Intn(len(g.cfg.callees))]})
+		g.b.Emit(&iloc.Instr{Op: iloc.OpCall, Dst: iloc.NoReg, Label: g.cfg.Callees[g.rng.Intn(len(g.cfg.Callees))]})
 		g.b.Emit(&iloc.Instr{Op: iloc.OpGetret, Dst: g.defInt(), Src: [2]iloc.Reg{iloc.NoReg, iloc.NoReg}})
 		return
 	}
@@ -260,19 +290,19 @@ func (g *gen) instr() {
 	case 9: // rload/frload from read-only data (never-killed loads)
 		off := int64(g.rng.Intn(g.cfg.DataWords)) * 8
 		if g.rng.Intn(2) == 0 {
-			g.b.Emit(&iloc.Instr{Op: iloc.OpRload, Dst: g.defInt(), Src: [2]iloc.Reg{iloc.NoReg, iloc.NoReg}, Label: g.cfg.labelPrefix + "iodat", Imm: off})
+			g.b.Emit(&iloc.Instr{Op: iloc.OpRload, Dst: g.defInt(), Src: [2]iloc.Reg{iloc.NoReg, iloc.NoReg}, Label: g.cfg.LabelPrefix + "iodat", Imm: off})
 		} else {
-			g.b.Emit(&iloc.Instr{Op: iloc.OpFrload, Dst: g.defFlt(), Src: [2]iloc.Reg{iloc.NoReg, iloc.NoReg}, Label: g.cfg.labelPrefix + "rodat", Imm: off})
+			g.b.Emit(&iloc.Instr{Op: iloc.OpFrload, Dst: g.defFlt(), Src: [2]iloc.Reg{iloc.NoReg, iloc.NoReg}, Label: g.cfg.LabelPrefix + "rodat", Imm: off})
 		}
 	case 10: // indexed load from a constant base
 		base := g.b.Int()
-		g.b.Lda(base, g.cfg.labelPrefix+"rodat")
+		g.b.Lda(base, g.cfg.LabelPrefix+"rodat")
 		g.b.Floadai(g.defFlt(), base, int64(g.rng.Intn(g.cfg.DataWords))*8)
 	case 11: // store to a read-write array at a constant slot
 		base := g.b.Int()
-		arr := g.cfg.labelPrefix + "rwa"
+		arr := g.cfg.LabelPrefix + "rwa"
 		if g.rng.Intn(2) == 0 {
-			arr = g.cfg.labelPrefix + "rwb"
+			arr = g.cfg.LabelPrefix + "rwb"
 		}
 		g.b.Lda(base, arr)
 		g.b.Fstoreai(g.anyFlt(), base, int64(g.rng.Intn(g.cfg.DataWords))*8)
@@ -327,11 +357,11 @@ func (g *gen) loop(depth int) {
 
 	var walker iloc.Reg
 	walk := g.rng.Intn(2) == 0 && trips <= g.cfg.DataWords
-	arr := g.cfg.labelPrefix + "rodat"
+	arr := g.cfg.LabelPrefix + "rodat"
 	if walk {
 		walker = g.b.Int()
 		if g.rng.Intn(2) == 0 {
-			arr = g.cfg.labelPrefix + "rwa"
+			arr = g.cfg.LabelPrefix + "rwa"
 		}
 		g.b.Lda(walker, arr)
 	}
@@ -354,7 +384,7 @@ func (g *gen) loop(depth int) {
 		v := g.b.Flt()
 		g.b.Fload(v, walker)
 		g.b.Fadd(acc, acc, v)
-		if arr == g.cfg.labelPrefix+"rwa" && g.rng.Intn(2) == 0 {
+		if arr == g.cfg.LabelPrefix+"rwa" && g.rng.Intn(2) == 0 {
 			g.b.Fstore(acc, walker)
 		}
 		g.b.Addi(walker, walker, 8)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/machines"
 	"repro/internal/target"
 )
 
@@ -53,8 +54,13 @@ type OptionsRequest struct {
 	Strategy string `json:"strategy,omitempty"`
 	// Mode is "remat" (the paper, default) or "chaitin" (the baseline).
 	Mode string `json:"mode,omitempty"`
+	// Machine selects a target machine from the zoo by name — an entry
+	// of GET /v1/machines, or the parameterized "regs=N" spelling. An
+	// unknown name is a 400 whose error body lists the registered names.
+	// Machine and Regs are mutually exclusive in one options object.
+	Machine string `json:"machine,omitempty"`
 	// Regs is the register count per class (16 = the paper's standard
-	// machine).
+	// machine) — shorthand for machine "regs=N".
 	Regs int `json:"regs,omitempty"`
 	// Split names one of §6's live-range splitting schemes: "none",
 	// "all-loops", "outer-loops", "inactive-loops", "all-phis".
@@ -99,8 +105,22 @@ func (o *OptionsRequest) Resolve(def core.Options) (core.Options, error) {
 		// batch-level strategy; the strategy re-derives from the mode.
 		opts.Strategy = ""
 	}
+	if o.Machine != "" && o.Regs != 0 {
+		return opts, fmt.Errorf("machine %q and regs %d are mutually exclusive (regs is shorthand for machine \"regs=N\")", o.Machine, o.Regs)
+	}
+	if o.Machine != "" {
+		m, err := machines.Lookup(o.Machine)
+		if err != nil {
+			return opts, err
+		}
+		opts.Machine = m
+	}
 	if o.Regs != 0 {
-		opts.Machine = target.WithRegs(o.Regs)
+		m := target.WithRegs(o.Regs)
+		if err := m.Validate(); err != nil {
+			return opts, err
+		}
+		opts.Machine = m
 	}
 	switch o.Split {
 	case "":
@@ -188,6 +208,23 @@ type BatchStats struct {
 	CPUMs         float64 `json:"cpu_ms"`
 }
 
+// MachineInfo describes one zoo machine in the GET /v1/machines
+// listing: its name, one-line description, and the shape that makes it
+// distinct (register bank sizes, caller-save partition, cycle costs).
+type MachineInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Regs        []int  `json:"regs"`
+	CallerSave  int    `json:"caller_save"`
+	MemCycles   int    `json:"mem_cycles"`
+	OtherCycles int    `json:"other_cycles"`
+}
+
+// MachinesResponse is the 200 body of GET /v1/machines.
+type MachinesResponse struct {
+	Machines []MachineInfo `json:"machines"`
+}
+
 // StrategyInfo describes one registered allocation strategy in the
 // GET /v1/strategies listing.
 type StrategyInfo struct {
@@ -252,4 +289,7 @@ type ErrorResponse struct {
 	// Strategies accompanies the unknown-strategy 400: the registered
 	// strategy names a request may select.
 	Strategies []string `json:"strategies,omitempty"`
+	// Machines accompanies the unknown-machine 400: the registered zoo
+	// machine names a request may select (plus the "regs=N" spelling).
+	Machines []string `json:"machines,omitempty"`
 }

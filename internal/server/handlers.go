@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/driver"
 	"repro/internal/iloc"
+	"repro/internal/machines"
 )
 
 // decodeStrict decodes a request body rejecting unknown fields, so a
@@ -23,13 +24,17 @@ func decodeStrict(r *http.Request, v any) error {
 }
 
 // optionsError shapes a request-options failure as a 400. An unknown
-// strategy name additionally lists the registered names in the body so
-// a client can self-correct without a second round trip.
+// strategy or machine name additionally lists the registered names in
+// the body so a client can self-correct without a second round trip.
 func optionsError(w http.ResponseWriter, info *requestInfo, err error) {
 	resp := ErrorResponse{Error: err.Error(), RequestID: info.id}
-	var unknown *core.UnknownStrategyError
-	if errors.As(err, &unknown) {
-		resp.Strategies = unknown.Registered
+	var unknownStrategy *core.UnknownStrategyError
+	if errors.As(err, &unknownStrategy) {
+		resp.Strategies = unknownStrategy.Registered
+	}
+	var unknownMachine *machines.UnknownMachineError
+	if errors.As(err, &unknownMachine) {
+		resp.Machines = unknownMachine.Registered
 	}
 	writeError(w, http.StatusBadRequest, resp)
 }
@@ -193,6 +198,31 @@ func (s *Server) handleStrategies(w http.ResponseWriter, r *http.Request) {
 	resp := StrategiesResponse{Strategies: make([]StrategyInfo, len(strategies))}
 	for i, st := range strategies {
 		resp.Strategies[i] = StrategyInfo{Name: st.Name(), Description: st.Description()}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMachines serves GET /v1/machines: the target-machine zoo, in
+// registration order, with descriptions and shapes. Clients select one
+// per request via the options "machine" field (or "regs=N" for an
+// unregistered sweep point).
+func (s *Server) handleMachines(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "GET only"})
+		return
+	}
+	zoo := machines.All()
+	resp := MachinesResponse{Machines: make([]MachineInfo, len(zoo))}
+	for i, e := range zoo {
+		resp.Machines[i] = MachineInfo{
+			Name:        e.Name,
+			Description: e.Description,
+			Regs:        append([]int(nil), e.Machine.Regs[:]...),
+			CallerSave:  e.Machine.CallerSave,
+			MemCycles:   e.Machine.MemCycles,
+			OtherCycles: e.Machine.OtherCycles,
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

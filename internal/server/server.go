@@ -236,6 +236,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("/v1/audit", s.handleAudit)
 	s.mux.HandleFunc("/v1/strategies", s.handleStrategies)
+	s.mux.HandleFunc("/v1/machines", s.handleMachines)
 	s.mux.HandleFunc("/v1/cache/bundle", s.handleBundle)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)

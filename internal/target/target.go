@@ -80,22 +80,24 @@ func (m *Machine) Clone() *Machine {
 // Validate checks that the machine is one the allocator can actually
 // color for. Spilled binary operations need two register operands alive
 // at once, so each class must expose at least two colors; the
-// caller-save count must leave the partition well formed.
+// caller-save count must leave the partition well formed (a negative
+// callee-save remainder would let the allocator hand out colors that do
+// not survive the calls they are live across).
 func (m *Machine) Validate() error {
+	if m.CallerSave < 0 {
+		return fmt.Errorf("target: %s: negative caller-save count %d", m.Name, m.CallerSave)
+	}
 	for c := iloc.Class(0); c < iloc.NumClasses; c++ {
 		k := m.K(c)
-		if k <= 0 {
-			return fmt.Errorf("target: %s: class %s has no allocatable registers (k = %d)", m.Name, c, k)
+		if k < 1 {
+			return fmt.Errorf("target: %s: class %s has no allocatable registers (bank of %d leaves k = %d after the reserved register 0)", m.Name, c, m.Regs[c], k)
 		}
 		if k < 2 {
 			return fmt.Errorf("target: %s: class %s has a single color; spilled code needs two registers at once", m.Name, c)
 		}
-		if m.CallerSave > k {
-			return fmt.Errorf("target: %s: caller-save count %d exceeds the %d colors of class %s", m.Name, m.CallerSave, k, c)
+		if m.CalleeSave(c) < 0 {
+			return fmt.Errorf("target: %s: caller-save count %d exceeds the %d colors of class %s (callee-save partition would be %d)", m.Name, m.CallerSave, k, c, m.CalleeSave(c))
 		}
-	}
-	if m.CallerSave < 0 {
-		return fmt.Errorf("target: %s: negative caller-save count %d", m.Name, m.CallerSave)
 	}
 	if m.MemCycles <= 0 || m.OtherCycles <= 0 {
 		return fmt.Errorf("target: %s: non-positive cycle costs (mem %d, other %d)", m.Name, m.MemCycles, m.OtherCycles)
@@ -107,10 +109,20 @@ func (m *Machine) Validate() error {
 // register-sweep experiments walk n from tight to roomy). Half of each
 // bank's colors are caller-save, mirroring a conventional convention's
 // even scratch/preserved split.
+//
+// The result of a degenerate n is still well formed data — a bank too
+// small to color (n < 3) fails Validate with a descriptive error rather
+// than reaching the allocator, and a negative n never yields a negative
+// caller-save count that would corrupt the partition arithmetic
+// downstream.
 func WithRegs(n int) *Machine {
+	cs := (n - 1) / 2
+	if cs < 0 {
+		cs = 0
+	}
 	m := &Machine{
 		Name:        fmt.Sprintf("regs-%d", n),
-		CallerSave:  (n - 1) / 2,
+		CallerSave:  cs,
 		MemCycles:   2,
 		OtherCycles: 1,
 	}

@@ -1,6 +1,7 @@
 package target
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/iloc"
@@ -24,6 +25,49 @@ func TestValidateRejectsBadMachines(t *testing.T) {
 	for _, tc := range cases {
 		if err := tc.m.Validate(); err == nil {
 			t.Errorf("%s: Validate() accepted an unusable machine", tc.name)
+		}
+	}
+}
+
+// TestValidateErrorsAreDescriptive pins the validator's error stories:
+// a rejected machine must say which class is short, or that the
+// partition breaks — not just "invalid" — because the serving layer
+// forwards these messages verbatim to clients asking for regs=N sweep
+// points.
+func TestValidateErrorsAreDescriptive(t *testing.T) {
+	cases := []struct {
+		m    *Machine
+		want string
+	}{
+		{&Machine{Name: "k0", Regs: [iloc.NumClasses]int{1, 1}, MemCycles: 2, OtherCycles: 1}, "no allocatable registers"},
+		{&Machine{Name: "k1", Regs: [iloc.NumClasses]int{2, 2}, MemCycles: 2, OtherCycles: 1}, "single color"},
+		{&Machine{Name: "part", Regs: [iloc.NumClasses]int{4, 4}, CallerSave: 5, MemCycles: 2, OtherCycles: 1}, "callee-save partition"},
+		{&Machine{Name: "ncs", Regs: [iloc.NumClasses]int{4, 4}, CallerSave: -2, MemCycles: 2, OtherCycles: 1}, "negative caller-save"},
+		{&Machine{Name: "cost", Regs: [iloc.NumClasses]int{4, 4}, CallerSave: 1}, "cycle costs"},
+	}
+	for _, tc := range cases {
+		err := tc.m.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.m.Name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.m.Name, err, tc.want)
+		}
+	}
+}
+
+// TestWithRegsDegenerate: degenerate register counts yield well-formed
+// data that fails Validate — never a negative caller-save count that
+// would corrupt partition arithmetic downstream.
+func TestWithRegsDegenerate(t *testing.T) {
+	for _, n := range []int{-4, -1, 0, 1, 2} {
+		m := WithRegs(n)
+		if m.CallerSave < 0 {
+			t.Errorf("WithRegs(%d).CallerSave = %d, want >= 0", n, m.CallerSave)
+		}
+		if err := m.Validate(); err == nil {
+			t.Errorf("WithRegs(%d) validated; k = %d", n, m.K(iloc.ClassInt))
 		}
 	}
 }

@@ -33,12 +33,14 @@ import (
 
 	"repro/internal/audit"
 	"repro/internal/core"
+	"repro/internal/corpus"
 	"repro/internal/ctrans"
 	"repro/internal/driver"
 	"repro/internal/experiments"
 	"repro/internal/iloc"
 	"repro/internal/interp"
 	"repro/internal/jobs"
+	"repro/internal/machines"
 	"repro/internal/store"
 	"repro/internal/suite"
 	"repro/internal/target"
@@ -166,6 +168,67 @@ func HugeMachine() *Machine { return target.Huge() }
 // MachineWithRegs returns a machine with n registers per class, for
 // register-set sweeps.
 func MachineWithRegs(n int) *Machine { return target.WithRegs(n) }
+
+// MachineEntry is one registered target machine in the zoo: a name, a
+// one-line description and the validated machine itself.
+type MachineEntry = machines.Entry
+
+// UnknownMachineError reports a machine lookup miss; Registered lists
+// the valid names so callers can surface them.
+type UnknownMachineError = machines.UnknownMachineError
+
+// Machines lists the registered target machines in registration order.
+func Machines() []MachineEntry { return machines.All() }
+
+// MachineNames lists the registered machine names in registration
+// order.
+func MachineNames() []string { return machines.Names() }
+
+// MachineByName resolves a machine spec — a registered zoo name, or
+// "regs=N" for a sweep point — to a fresh validated machine. A miss
+// returns *UnknownMachineError listing the valid names.
+func MachineByName(spec string) (*Machine, error) { return machines.Lookup(spec) }
+
+// RegisterMachine adds a machine to the zoo under its Machine.Name,
+// making it selectable by name through the server, the CLIs and
+// MachineByName. The name must be new and the machine valid with a
+// shape distinct from every machine already registered (distinct
+// machines must never share a cache key); violations panic, like a
+// duplicate flag registration.
+func RegisterMachine(description string, m *Machine) { machines.Register(description, m) }
+
+// StarvedMachine derives the register-starved variant of a machine —
+// the shape the verification sweeps use to force spilling.
+func StarvedMachine(m *Machine) *Machine { return machines.Starved(m) }
+
+// CorpusSpec parameterizes deterministic corpus generation; CorpusUnit
+// is one generated unit (a parsed multi-routine translation unit plus
+// its canonical text and content hash); CorpusManifest is the on-disk
+// identity of a written corpus.
+type (
+	CorpusSpec     = corpus.Spec
+	CorpusUnit     = corpus.Unit
+	CorpusManifest = corpus.Manifest
+)
+
+// ParseCorpusSpec parses a "count=N,seed=S,..." corpus spec string,
+// applying defaults for absent keys. The empty string is the default
+// corpus.
+func ParseCorpusSpec(text string) (CorpusSpec, error) { return corpus.ParseSpec(text) }
+
+// GenerateCorpus deterministically generates the corpus a spec
+// describes: the same spec always yields byte-identical units.
+func GenerateCorpus(spec CorpusSpec) ([]CorpusUnit, error) { return corpus.Generate(spec) }
+
+// WriteCorpus generates a corpus and writes it under dir — one .iloc
+// file per unit plus a MANIFEST.json with content hashes.
+func WriteCorpus(dir string, spec CorpusSpec) (*CorpusManifest, error) {
+	return corpus.WriteDir(dir, spec)
+}
+
+// LoadCorpus reads a written corpus back, verifying every file against
+// the manifest hashes.
+func LoadCorpus(dir string) (*CorpusManifest, []CorpusUnit, error) { return corpus.Load(dir) }
 
 // Allocate maps the routine's virtual registers onto a machine. The
 // input is not modified; Result.Routine holds the allocated clone with

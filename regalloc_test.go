@@ -2,6 +2,7 @@ package regalloc
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -69,6 +70,45 @@ func TestMachines(t *testing.T) {
 	}
 	if MachineWithRegs(9).Regs[1] != 9 {
 		t.Fatal("WithRegs wrong")
+	}
+}
+
+func TestMachineZooAndCorpusFacade(t *testing.T) {
+	names := MachineNames()
+	if len(names) < 5 || len(Machines()) != len(names) {
+		t.Fatalf("zoo too small: %v", names)
+	}
+	m, err := MachineByName("embedded-8")
+	if err != nil || m.Regs[0] != 8 {
+		t.Fatalf("embedded-8: %v %+v", err, m)
+	}
+	if s := StarvedMachine(m); s.Regs[0] >= m.Regs[0] || s.Validate() != nil {
+		t.Fatalf("starved variant wrong: %+v", s)
+	}
+	var miss *UnknownMachineError
+	if _, err := MachineByName("vax"); !errors.As(err, &miss) || len(miss.Registered) != len(names) {
+		t.Fatalf("miss = %v", err)
+	}
+
+	spec, err := ParseCorpusSpec("count=2,seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := GenerateCorpus(spec)
+	if err != nil || len(units) != 2 {
+		t.Fatalf("generate: %v (%d units)", err, len(units))
+	}
+	dir := t.TempDir()
+	man, err := WriteCorpus(dir, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man2, loaded, err := LoadCorpus(dir)
+	if err != nil || man2.SHA256 != man.SHA256 || len(loaded) != len(units) {
+		t.Fatalf("load: %v (%+v vs %+v)", err, man2, man)
+	}
+	if loaded[0].Text != units[0].Text {
+		t.Fatal("written corpus differs from generated corpus")
 	}
 }
 
